@@ -1,0 +1,396 @@
+// Benchmarks regenerating every figure/claim of the paper (one bench per
+// experiment id in DESIGN.md, E1..E10) plus micro-benchmarks of the
+// substrates. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Scales are kept small so the full suite finishes in minutes; the
+// cmd/gmine "repro" subcommand runs the same experiments at the standard
+// (or full) scale with the paper-vs-measured report.
+package gmine_test
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	gmine "repro"
+	"repro/internal/experiments"
+)
+
+const (
+	benchScale = 0.02 // ~6,300 authors, ~30k edges
+	benchSeed  = 1
+)
+
+var (
+	setupOnce sync.Once
+	benchDS   *gmine.DBLPDataset
+	benchEng  *gmine.Engine
+	benchTree string // persisted G-Tree path
+	benchDir  string
+)
+
+func setup(b *testing.B) {
+	b.Helper()
+	setupOnce.Do(func() {
+		benchDS = gmine.GenerateDBLP(gmine.DBLPConfig{Scale: benchScale, Seed: benchSeed})
+		var err error
+		benchEng, err = gmine.Build(benchDS.Graph, gmine.BuildConfig{K: 5, Levels: 4, Seed: benchSeed})
+		if err != nil {
+			panic(err)
+		}
+		benchDir, err = os.MkdirTemp("", "gmine-bench")
+		if err != nil {
+			panic(err)
+		}
+		benchTree = filepath.Join(benchDir, "bench.gtree")
+		if err := benchEng.SaveTree(benchTree, 0); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// BenchmarkE1_GTreeBuild measures the full hierarchy construction (Fig 1):
+// recursive 5-way multilevel partitioning plus connectivity aggregation.
+func BenchmarkE1_GTreeBuild(b *testing.B) {
+	setup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng, err := gmine.Build(benchDS.Graph, gmine.BuildConfig{K: 5, Levels: 4, Seed: benchSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if eng.Tree().NumCommunities() == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+// BenchmarkE2_SceneKinds measures producing the Fig 2 drawing vocabulary:
+// a Tomahawk scene with community nodes and connectivity edges, rendered
+// to SVG.
+func BenchmarkE2_SceneKinds(b *testing.B) {
+	setup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		svg := benchEng.RenderScene(900, gmine.TomahawkOptions{Grandchildren: true})
+		if len(svg) == 0 {
+			b.Fatal("empty scene")
+		}
+	}
+}
+
+// BenchmarkE3_NavigationSequence measures the Fig 3 interactive loop:
+// label query, focus change, Tomahawk scene, leaf subgraph load.
+func BenchmarkE3_NavigationSequence(b *testing.B) {
+	setup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hits, err := benchEng.FindLabel(gmine.NameJiaweiHan)
+		if err != nil || len(hits) != 1 {
+			b.Fatal("label query failed")
+		}
+		if err := benchEng.FocusOn(hits[0].Leaf); err != nil {
+			b.Fatal(err)
+		}
+		scene := benchEng.Scene(gmine.TomahawkOptions{})
+		if scene.Size() == 0 {
+			b.Fatal("empty scene")
+		}
+		if _, _, err := benchEng.LeafSubgraph(hits[0].Leaf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4_TomahawkScene contrasts Tomahawk scene construction with the
+// draw-everything-at-this-level alternative (Fig 4).
+func BenchmarkE4_TomahawkScene(b *testing.B) {
+	setup(b)
+	t := benchEng.Tree()
+	leaves := t.Leaves()
+	focus := leaves[len(leaves)/2]
+	b.Run("Tomahawk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if s := t.Tomahawk(focus, gmine.TomahawkOptions{}); s.Size() == 0 {
+				b.Fatal("empty scene")
+			}
+		}
+	})
+	b.Run("FullLevel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if s := t.FullLevelScene(focus); s.Size() == 0 {
+				b.Fatal("empty scene")
+			}
+		}
+	})
+}
+
+// BenchmarkE5_ConnectionSubgraph measures the Fig 5 multi-source
+// extraction: 3 sources, 30-node budget (RWR + goodness + DP paths).
+func BenchmarkE5_ConnectionSubgraph(b *testing.B) {
+	setup(b)
+	sources := []gmine.NodeID{
+		benchDS.Notables[gmine.NamePhilipYu],
+		benchDS.Notables[gmine.NameFlipKorn],
+		benchDS.Notables[gmine.NameGarofalakis],
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := gmine.ConnectionSubgraph(benchDS.Graph, sources, gmine.ExtractOptions{Budget: 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Subgraph.NumNodes() > 30 {
+			b.Fatal("budget exceeded")
+		}
+	}
+}
+
+// BenchmarkE6_CombinedPipeline measures Fig 6: extraction followed by
+// hierarchical partitioning of the result.
+func BenchmarkE6_CombinedPipeline(b *testing.B) {
+	setup(b)
+	sources := []gmine.NodeID{
+		benchDS.Notables[gmine.NamePhilipYu],
+		benchDS.Notables[gmine.NameFlipKorn],
+		benchDS.Notables[gmine.NameGarofalakis],
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sub, res, err := benchEng.ExtractAndBuild(sources,
+			gmine.ExtractOptions{Budget: 200},
+			gmine.BuildConfig{K: 3, Levels: 3, Seed: benchSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Subgraph.NumNodes() == 0 || sub.Tree().NumCommunities() == 0 {
+			b.Fatal("pipeline produced nothing")
+		}
+	}
+}
+
+// BenchmarkE7_SubgraphMetrics measures the §III.B metric suite (degree
+// distribution, hops, WCC, SCC, PageRank) on a focused community.
+func BenchmarkE7_SubgraphMetrics(b *testing.B) {
+	setup(b)
+	t := benchEng.Tree()
+	var leaf gmine.TreeID
+	best := -1
+	for _, l := range t.Leaves() {
+		if t.Node(l).Size > best {
+			best = t.Node(l).Size
+			leaf = l
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := benchEng.MetricsReport(leaf, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Nodes == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkE8_MultiResolutionVsFullDraw contrasts one interaction under
+// GMine's multi-resolution scheme against one whole-graph force-directed
+// redraw — the paper's central scalability claim.
+func BenchmarkE8_MultiResolutionVsFullDraw(b *testing.B) {
+	setup(b)
+	b.Run("FullDraw", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gmine.FullDrawBaseline(benchDS.Graph, 5, benchSeed)
+		}
+	})
+	b.Run("TomahawkInteraction", func(b *testing.B) {
+		disk, err := gmine.Open(benchTree, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer disk.Close()
+		leaves := disk.Tree().Leaves()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			leaf := leaves[i%len(leaves)]
+			if err := disk.FocusOn(leaf); err != nil {
+				b.Fatal(err)
+			}
+			_ = disk.RenderScene(900, gmine.TomahawkOptions{})
+			if _, _, err := disk.LeafSubgraph(leaf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE9_MultiSourceVsPairwise contrasts one multi-source query with
+// the m(m-1)/2 pairwise-baseline runs it replaces.
+func BenchmarkE9_MultiSourceVsPairwise(b *testing.B) {
+	setup(b)
+	sources := []gmine.NodeID{
+		benchDS.Notables[gmine.NamePhilipYu],
+		benchDS.Notables[gmine.NameFlipKorn],
+		benchDS.Notables[gmine.NameGarofalakis],
+	}
+	b.Run("MultiSource", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gmine.ConnectionSubgraph(benchDS.Graph, sources, gmine.ExtractOptions{Budget: 30}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("PairwiseUnion", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := gmine.MultiSourceViaPairwise(benchDS.Graph, sources, gmine.PairwiseOptions{Budget: 30}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10_OnDemandPaging measures loading one leaf community from the
+// single-file store through the buffer pool (cold pool: mostly misses;
+// warm pool: hits).
+func BenchmarkE10_OnDemandPaging(b *testing.B) {
+	setup(b)
+	b.Run("ColdPool", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			disk, err := gmine.Open(benchTree, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			leaf := disk.Tree().Leaves()[i%len(disk.Tree().Leaves())]
+			if _, _, err := disk.LeafSubgraph(leaf); err != nil {
+				b.Fatal(err)
+			}
+			disk.Close()
+		}
+	})
+	b.Run("WarmPool", func(b *testing.B) {
+		disk, err := gmine.Open(benchTree, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer disk.Close()
+		leaves := disk.Tree().Leaves()
+		// Warm the pool.
+		for _, l := range leaves {
+			if _, _, err := disk.LeafSubgraph(l); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := disk.LeafSubgraph(leaves[i%len(leaves)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkPartition(b *testing.B) {
+	setup(b)
+	for _, m := range []struct {
+		name   string
+		method gmine.PartitionMethod
+	}{{"Multilevel", gmine.Multilevel}, {"BFSGrow", gmine.BFSGrow}, {"Random", gmine.RandomPart}} {
+		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := gmine.Partition(benchDS.Graph, gmine.PartitionOptions{K: 5, Seed: benchSeed, Method: m.method}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	setup(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if pr := gmine.PageRank(benchDS.Graph, gmine.PageRankOptions{}); len(pr) == 0 {
+			b.Fatal("empty pagerank")
+		}
+	}
+}
+
+func BenchmarkForceLayout(b *testing.B) {
+	setup(b)
+	leaf := benchEng.Tree().Leaves()[0]
+	sub, _, err := benchEng.LeafSubgraph(leaf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		gmine.ForceLayout(sub, gmine.Circle{R: 300}, gmine.ForceOptions{Iterations: 50, Seed: benchSeed})
+	}
+}
+
+// BenchmarkRWRPushVsPower contrasts the two RWR implementations (ablation
+// in EXPERIMENTS.md): power iteration touches every edge per sweep; the
+// residual push works locally around the source.
+func BenchmarkRWRPushVsPower(b *testing.B) {
+	setup(b)
+	csr := gmine.ToCSR(benchDS.Graph)
+	src := benchDS.Notables[gmine.NameFlipKorn]
+	b.Run("Power", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gmine.RWRPower(csr, src, gmine.RWROptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Push", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gmine.RWRPush(csr, src, 0.15, 1e-7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkANFVsExactHopPlot contrasts the sketch-based neighborhood
+// function against exact all-sources BFS on the bench graph.
+func BenchmarkANFVsExactHopPlot(b *testing.B) {
+	setup(b)
+	b.Run("ANF", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gmine.ComputeANF(benchDS.Graph, gmine.ANFOptions{K: 24, Seed: benchSeed})
+		}
+	})
+	b.Run("ExactSampled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gmine.AnalysisReport(benchDS.Graph, 64, benchSeed)
+		}
+	})
+}
+
+// BenchmarkReproSuite runs the complete experiment harness quietly at a
+// small scale — the end-to-end cost of regenerating every figure.
+func BenchmarkReproSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := &experiments.Config{Scale: 0.01, Seed: benchSeed, K: 3, Levels: 3, Quiet: true, Dir: b.TempDir()}
+		if err := experiments.RunAll(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Package gmine reproduces "GMine: A System for Scalable, Interactive
+// Graph Visualization and Mining" (Rodrigues, Tong, Traina, Faloutsos,
+// Leskovec; VLDB 2006) as a pure-Go library.
+//
+// GMine explores graphs with hundreds of thousands of nodes through two
+// ideas:
+//
+//  1. Multi-resolution visualization. The graph is recursively k-way
+//     partitioned into a hierarchy of communities-within-communities held
+//     in the G-Tree, an R-tree-like structure persisted in a single file;
+//     leaf communities page into memory on demand. The Tomahawk principle
+//     limits each scene to the focus community, its children, its siblings
+//     and its ancestors, keeping drawings intelligible regardless of graph
+//     size.
+//
+//  2. Connection subgraph extraction. Given a set of query nodes, an
+//     independent random walk with restart is simulated from each; nodes
+//     are scored by the steady-state probability that the particles meet
+//     ("goodness"), and a small output subgraph is grown from key paths
+//     found by dynamic programming. Multi-source queries are answered
+//     directly, unlike the pairwise-only KDD'04 baseline (also included).
+//
+// Quick start:
+//
+//	ds := gmine.GenerateDBLP(gmine.DBLPConfig{Scale: 0.05, Seed: 1})
+//	eng, err := gmine.Build(ds.Graph, gmine.BuildConfig{K: 5, Levels: 5, Seed: 1})
+//	// navigate:
+//	eng.FocusChild(0)
+//	svg := eng.RenderScene(900, gmine.TomahawkOptions{Grandchildren: true})
+//	// query and mine:
+//	hits, _ := eng.FindLabel("Jiawei Han")
+//	res, _ := eng.ExtractByLabels([]string{"Philip S. Yu", "Flip Korn"},
+//	        gmine.ExtractOptions{Budget: 30})
+//	_ = svg; _ = hits; _ = res
+//
+// The package is a thin facade over the internal implementation packages;
+// everything needed to reproduce the paper's figures is reachable from
+// here. See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package gmine

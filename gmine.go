@@ -1,0 +1,264 @@
+package gmine
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dblp"
+	"repro/internal/extract"
+	"repro/internal/graph"
+	"repro/internal/gtree"
+	"repro/internal/layout"
+	"repro/internal/partition"
+	"repro/internal/render"
+)
+
+// --- Graph substrate ---
+
+// Graph is a weighted graph with optional node labels.
+type Graph = graph.Graph
+
+// NodeID identifies a graph node.
+type NodeID = graph.NodeID
+
+// NewGraph returns an empty graph.
+func NewGraph(directed bool) *Graph { return graph.New(directed) }
+
+// NewGraphWithNodes returns a graph with n unlabeled nodes.
+func NewGraphWithNodes(n int, directed bool) *Graph { return graph.NewWithNodes(n, directed) }
+
+// Induced returns the subgraph induced by nodes plus the id mapping.
+func Induced(g *Graph, nodes []NodeID) (*Graph, []NodeID) { return graph.Induced(g, nodes) }
+
+// CSR is the compressed-sparse-row view used by the algorithm kernels.
+type CSR = graph.CSR
+
+// ToCSR converts a graph to CSR form.
+func ToCSR(g *Graph) *CSR { return graph.ToCSR(g) }
+
+// ReadEdgeList / WriteEdgeList / ReadBinary / WriteBinary / ReadMETIS /
+// WriteMETIS re-export graph I/O (METIS interop matches the partitioner
+// the paper used).
+var (
+	ReadEdgeList  = graph.ReadEdgeList
+	WriteEdgeList = graph.WriteEdgeList
+	ReadBinary    = graph.ReadBinary
+	WriteBinary   = graph.WriteBinary
+	ReadMETIS     = graph.ReadMETIS
+	WriteMETIS    = graph.WriteMETIS
+)
+
+// --- Engine ---
+
+// Engine is a GMine session (see core.Engine).
+type Engine = core.Engine
+
+// BuildConfig configures hierarchy construction.
+type BuildConfig = core.BuildConfig
+
+// Workspace is an editable working subgraph (§III.B: "edition of nodes
+// and edges" and edge expansion).
+type Workspace = core.Workspace
+
+// NodeInfoPopup is the hover pop-up data (§III.B "pop up node
+// information").
+type NodeInfoPopup = core.NodeInfo
+
+// Build constructs a memory-backed engine over g.
+func Build(g *Graph, cfg BuildConfig) (*Engine, error) { return core.BuildEngine(g, cfg) }
+
+// Open opens a persisted G-Tree file as a disk-backed engine.
+func Open(path string, poolPages int) (*Engine, error) { return core.OpenEngine(path, poolPages) }
+
+// RenderExtraction renders an extraction result to SVG.
+var RenderExtraction = core.RenderExtraction
+
+// FullDrawBaseline is the naive whole-graph layout (experiment E8).
+var FullDrawBaseline = core.FullDrawBaseline
+
+// --- G-Tree ---
+
+// Tree is the communities-within-communities hierarchy.
+type Tree = gtree.Tree
+
+// TreeID identifies a community in the hierarchy.
+type TreeID = gtree.TreeID
+
+// Community is one node of the G-Tree.
+type Community = gtree.Node
+
+// Scene is a Tomahawk display scene.
+type Scene = gtree.Scene
+
+// TomahawkOptions tunes scene construction.
+type TomahawkOptions = gtree.TomahawkOptions
+
+// TreeStats summarizes a hierarchy.
+type TreeStats = gtree.Stats
+
+// ConnStat is a connectivity edge (count+weight of crossing edges).
+type ConnStat = gtree.ConnStat
+
+// LabelHit is a label query result.
+type LabelHit = gtree.LabelHit
+
+// BuildTreeOptions configures direct tree construction (most callers use
+// Build on an Engine instead).
+type BuildTreeOptions = gtree.BuildOptions
+
+// BuildTree builds a G-Tree without an engine.
+func BuildTree(g *Graph, opts BuildTreeOptions) (*Tree, error) { return gtree.Build(g, opts) }
+
+// --- Partitioning ---
+
+// PartitionOptions configures the partitioner.
+type PartitionOptions = partition.Options
+
+// PartitionMethod selects the algorithm.
+type PartitionMethod = partition.Method
+
+// Partitioner method constants.
+const (
+	Multilevel = partition.Multilevel
+	BFSGrow    = partition.BFSGrow
+	RandomPart = partition.Random
+)
+
+// Partition splits a graph into k parts.
+func Partition(g *Graph, opts PartitionOptions) (*partition.Result, error) {
+	return partition.Partition(g, opts)
+}
+
+// EdgeCut returns the weight of edges crossing parts.
+var EdgeCut = partition.EdgeCut
+
+// --- Extraction ---
+
+// ExtractOptions configures connection subgraph extraction.
+type ExtractOptions = extract.Options
+
+// ExtractResult is an extracted connection subgraph.
+type ExtractResult = extract.Result
+
+// RWROptions tunes the random walk with restart.
+type RWROptions = extract.RWROptions
+
+// CombineMode selects the goodness combination (AND / OR / k-softAND).
+type CombineMode = extract.CombineMode
+
+// Goodness combination modes.
+const (
+	CombineAND      = extract.CombineAND
+	CombineOR       = extract.CombineOR
+	CombineKSoftAND = extract.CombineKSoftAND
+)
+
+// ConnectionSubgraph extracts a multi-source connection subgraph (§IV).
+func ConnectionSubgraph(g *Graph, sources []NodeID, opts ExtractOptions) (*ExtractResult, error) {
+	return extract.ConnectionSubgraph(g, sources, opts)
+}
+
+// RWRPower computes the exact random walk with restart by power
+// iteration; RWRPush is the residual-push approximation (local work,
+// suited to interactive queries on the full-scale graph).
+var (
+	RWRPower = extract.RWR
+	RWRPush  = extract.RWRPush
+)
+
+// PairwiseOptions configures the KDD'04 electrical baseline.
+type PairwiseOptions = extract.PairwiseOptions
+
+// PairwiseConnection runs the pairwise delivered-current baseline.
+var PairwiseConnection = extract.PairwiseConnection
+
+// MultiSourceViaPairwise answers multi-source queries with pairwise runs.
+var MultiSourceViaPairwise = extract.MultiSourceViaPairwise
+
+// --- Analysis (§III.B metrics) ---
+
+// SubgraphReport bundles the metrics GMine computes on focused subgraphs.
+type SubgraphReport = analysis.SubgraphReport
+
+// AnalysisReport computes the full metric suite for a subgraph.
+func AnalysisReport(g *Graph, hopSamples int, seed int64) SubgraphReport {
+	return analysis.Report(g, hopSamples, seed)
+}
+
+// PageRank, components, hops and degree helpers.
+var (
+	PageRank           = analysis.PageRank
+	WeakComponents     = analysis.WeakComponents
+	StrongComponents   = analysis.StrongComponents
+	DegreeDistribution = analysis.DegreeDistribution
+	BFSDistances       = analysis.BFSDistances
+	LargestComponent   = analysis.LargestComponent
+)
+
+// PageRankOptions tunes PageRank.
+type PageRankOptions = analysis.PageRankOptions
+
+// ANFOptions / ComputeANF expose the approximate neighborhood function
+// (hop plots on full-scale graphs without n BFS runs).
+type ANFOptions = analysis.ANFOptions
+
+// ComputeANF estimates the hop plot with Flajolet–Martin sketches.
+var ComputeANF = analysis.ComputeANF
+
+// --- Layout & rendering ---
+
+// Point is a 2-D position; Circle a disc.
+type (
+	Point  = layout.Point
+	Circle = layout.Circle
+)
+
+// ForceOptions tunes the force-directed layout.
+type ForceOptions = layout.ForceOptions
+
+// ForceLayout positions subgraph nodes inside bounds.
+var ForceLayout = layout.ForceLayout
+
+// LayoutScene positions a Tomahawk scene's communities.
+var LayoutScene = layout.LayoutScene
+
+// SceneSVG / SubgraphSVG render to SVG documents.
+var (
+	SceneSVG    = render.SceneSVG
+	SubgraphSVG = render.SubgraphSVG
+)
+
+// --- Synthetic DBLP ---
+
+// DBLPConfig configures the synthetic DBLP generator.
+type DBLPConfig = dblp.Config
+
+// DBLPDataset is a generated co-authorship graph with planted notables.
+type DBLPDataset = dblp.Dataset
+
+// GenerateDBLP builds the synthetic stand-in for the paper's dataset.
+func GenerateDBLP(cfg DBLPConfig) *DBLPDataset { return dblp.Generate(cfg) }
+
+// SmallDBLP returns the tiny deterministic fixture.
+func SmallDBLP() *DBLPDataset { return dblp.SmallFixture() }
+
+// Notable author names planted by the generator (paper figure narrative).
+const (
+	NameJiaweiHan   = dblp.NameJiaweiHan
+	NameKeWang      = dblp.NameKeWang
+	NamePhilipYu    = dblp.NamePhilipYu
+	NameFlipKorn    = dblp.NameFlipKorn
+	NameGarofalakis = dblp.NameGarofalakis
+	NameJagadish    = dblp.NameJagadish
+	NameMiller      = dblp.NameMiller
+	NameStockton    = dblp.NameStockton
+)
+
+// DBLP reference scale (the real snapshot's size).
+const (
+	DBLPFullNodes = dblp.FullNodes
+	DBLPFullEdges = dblp.FullEdges
+)
+
+// NMI computes normalized mutual information between two labelings —
+// the external partition-quality measure used by the ablation suite.
+var NMI = analysis.NMI

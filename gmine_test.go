@@ -1,0 +1,124 @@
+package gmine_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	gmine "repro"
+)
+
+// These tests exercise the public facade end-to-end the way the README's
+// quickstart does, so a user following the docs is covered by CI.
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	ds := gmine.SmallDBLP()
+	if ds.Graph.NumNodes() == 0 {
+		t.Fatal("empty dataset")
+	}
+	eng, err := gmine.Build(ds.Graph, gmine.BuildConfig{K: 3, Levels: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.FocusChild(0); err != nil {
+		t.Fatal(err)
+	}
+	svg := eng.RenderScene(900, gmine.TomahawkOptions{Grandchildren: true})
+	if !strings.Contains(svg, "<svg") {
+		t.Fatal("no svg")
+	}
+	hits, err := eng.FindLabel(gmine.NameJiaweiHan)
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("label query: %v, %d hits", err, len(hits))
+	}
+	res, err := eng.ExtractByLabels([]string{gmine.NamePhilipYu, gmine.NameFlipKorn},
+		gmine.ExtractOptions{Budget: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subgraph.NumNodes() > 20 {
+		t.Fatal("budget exceeded")
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	g := gmine.NewGraphWithNodes(3, false)
+	g.SetLabel(0, "a")
+	g.AddEdge(0, 1, 2)
+	var buf bytes.Buffer
+	if err := gmine.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := gmine.ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 3 || back.NumEdges() != 1 || back.Label(0) != "a" {
+		t.Fatal("edge list round trip failed via facade")
+	}
+	if err := gmine.WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gmine.ReadBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadePartitionAndAnalysis(t *testing.T) {
+	ds := gmine.SmallDBLP()
+	res, err := gmine.Partition(ds.Graph, gmine.PartitionOptions{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gmine.EdgeCut(ds.Graph, res.Parts); got != res.Cut {
+		t.Fatalf("cut mismatch: %g vs %g", got, res.Cut)
+	}
+	rep := gmine.AnalysisReport(ds.Graph, 30, 1)
+	if rep.Nodes != ds.Graph.NumNodes() {
+		t.Fatal("analysis report wrong size")
+	}
+	if _, n := gmine.WeakComponents(ds.Graph); n < 1 {
+		t.Fatal("no components")
+	}
+	if len(gmine.LargestComponent(ds.Graph)) == 0 {
+		t.Fatal("no giant component")
+	}
+}
+
+func TestFacadeSaveOpen(t *testing.T) {
+	ds := gmine.SmallDBLP()
+	eng, err := gmine.Build(ds.Graph, gmine.BuildConfig{K: 3, Levels: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.gtree")
+	if err := eng.SaveTree(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := gmine.Open(path, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	if disk.Tree().NumCommunities() != eng.Tree().NumCommunities() {
+		t.Fatal("communities changed across persistence")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	ds := gmine.SmallDBLP()
+	lc := gmine.LargestComponent(ds.Graph)
+	s, tt := lc[0], lc[len(lc)/2]
+	pw, err := gmine.PairwiseConnection(ds.Graph, s, tt, gmine.PairwiseOptions{Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw.Subgraph.NumNodes() > 10 {
+		t.Fatal("pairwise budget exceeded")
+	}
+	pos := gmine.FullDrawBaseline(ds.Graph, 2, 1)
+	if len(pos) != ds.Graph.NumNodes() {
+		t.Fatal("full draw baseline wrong size")
+	}
+}

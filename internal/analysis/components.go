@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"repro/internal/graph"
+)
+
+// WeakComponents labels each node with a weakly-connected component id
+// (edge direction ignored) and returns the labels and component count.
+func WeakComponents(g *graph.Graph) ([]int32, int) {
+	n := g.NumNodes()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	g.Edges(func(u, v graph.NodeID, w float64) bool {
+		union(int32(u), int32(v))
+		return true
+	})
+	labels := make([]int32, n)
+	next := int32(0)
+	remap := map[int32]int32{}
+	for u := 0; u < n; u++ {
+		r := find(int32(u))
+		id, ok := remap[r]
+		if !ok {
+			id = next
+			remap[r] = id
+			next++
+		}
+		labels[u] = id
+	}
+	return labels, int(next)
+}
+
+// StrongComponents labels each node with a strongly-connected component id
+// using an iterative Tarjan algorithm (safe for deep graphs), returning the
+// labels and the component count. For undirected graphs every stored edge
+// has its reverse, so SCCs coincide with weak components.
+func StrongComponents(g *graph.Graph) ([]int32, int) {
+	n := g.NumNodes()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int32, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int32
+	var nextIndex, nComp int32
+
+	type frame struct {
+		v  int32
+		ei int // next adjacency index to explore
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		call := []frame{{v: int32(start)}}
+		index[int32(start)] = nextIndex
+		low[int32(start)] = nextIndex
+		nextIndex++
+		stack = append(stack, int32(start))
+		onStack[start] = true
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			adv := false
+			nbrs := g.Neighbors(graph.NodeID(v))
+			for f.ei < len(nbrs) {
+				w := int32(nbrs[f.ei].To)
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = nextIndex
+					low[w] = nextIndex
+					nextIndex++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w})
+					adv = true
+					break
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if adv {
+				continue
+			}
+			// v is finished.
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return comp, int(nComp)
+}
+
+// ComponentSizes returns the size of each component given its labels.
+func ComponentSizes(labels []int32, count int) []int {
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	return sizes
+}
+
+// LargestComponent returns the nodes of the largest weak component.
+func LargestComponent(g *graph.Graph) []graph.NodeID {
+	labels, count := WeakComponents(g)
+	if count == 0 {
+		return nil
+	}
+	sizes := ComponentSizes(labels, count)
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	var out []graph.NodeID
+	for u, l := range labels {
+		if int(l) == best {
+			out = append(out, graph.NodeID(u))
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// BFSDistances returns the hop distance from src to every node (-1 for
+// unreachable).
+func BFSDistances(g *graph.Graph, src graph.NodeID) []int32 {
+	n := g.NumNodes()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []graph.NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Neighbors(u) {
+			if dist[e.To] < 0 {
+				dist[e.To] = dist[u] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist
+}
+
+// HopPlot holds N(h): the number of ordered reachable pairs within h hops,
+// estimated from sampled BFS sources, plus the effective diameter.
+type HopPlot struct {
+	// Counts[h] estimates the number of ordered pairs (u,v) with
+	// hop-distance <= h. Counts[0] = n (each node reaches itself).
+	Counts []float64
+	// EffectiveDiameter is the smallest h at which Counts[h] reaches 90%
+	// of the plateau Counts[max].
+	EffectiveDiameter int
+	// MaxHops is the largest finite distance observed from the samples.
+	MaxHops int
+	Samples int
+}
+
+// ComputeHopPlot estimates the hop plot from `samples` BFS sources drawn
+// with rng (all nodes if samples <= 0 or >= n). This is GMine's "number of
+// hops" metric.
+func ComputeHopPlot(g *graph.Graph, samples int, rng *rand.Rand) HopPlot {
+	n := g.NumNodes()
+	hp := HopPlot{}
+	if n == 0 {
+		return hp
+	}
+	var sources []graph.NodeID
+	if samples <= 0 || samples >= n {
+		sources = make([]graph.NodeID, n)
+		for i := range sources {
+			sources[i] = graph.NodeID(i)
+		}
+	} else {
+		for _, i := range rng.Perm(n)[:samples] {
+			sources = append(sources, graph.NodeID(i))
+		}
+	}
+	hp.Samples = len(sources)
+	var perHop []float64 // perHop[h] = # sampled pairs at distance exactly h
+	for _, s := range sources {
+		dist := BFSDistances(g, s)
+		for _, d := range dist {
+			if d < 0 {
+				continue
+			}
+			for int(d) >= len(perHop) {
+				perHop = append(perHop, 0)
+			}
+			perHop[d]++
+			if int(d) > hp.MaxHops {
+				hp.MaxHops = int(d)
+			}
+		}
+	}
+	scale := float64(n) / float64(len(sources))
+	hp.Counts = make([]float64, len(perHop))
+	var cum float64
+	for h, c := range perHop {
+		cum += c * scale
+		hp.Counts[h] = cum
+	}
+	if len(hp.Counts) > 0 {
+		plateau := hp.Counts[len(hp.Counts)-1]
+		for h, c := range hp.Counts {
+			if c >= 0.9*plateau {
+				hp.EffectiveDiameter = h
+				break
+			}
+		}
+	}
+	return hp
+}
+
+// Diameter returns the exact diameter of g (longest shortest path over all
+// reachable pairs) by running BFS from every node — intended for the
+// community-sized subgraphs GMine inspects, not the full graph.
+func Diameter(g *graph.Graph) int {
+	n := g.NumNodes()
+	max := 0
+	for u := 0; u < n; u++ {
+		dist := BFSDistances(g, graph.NodeID(u))
+		for _, d := range dist {
+			if int(d) > max {
+				max = int(d)
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNMIIdenticalLabelings(t *testing.T) {
+	a := []int32{0, 0, 1, 1, 2, 2}
+	if got := NMI(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI(a,a)=%g want 1", got)
+	}
+}
+
+func TestNMIPermutedLabelsStillOne(t *testing.T) {
+	a := []int32{0, 0, 1, 1, 2, 2}
+	b := []int32{5, 5, 9, 9, 7, 7} // same partition, renamed
+	if got := NMI(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI renamed=%g want 1", got)
+	}
+}
+
+func TestNMIIndependentLabelings(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = int32(rng.Intn(4))
+		b[i] = int32(rng.Intn(4))
+	}
+	if got := NMI(a, b); got > 0.01 {
+		t.Fatalf("NMI independent=%g want ~0", got)
+	}
+}
+
+func TestNMIPartialAgreement(t *testing.T) {
+	// A quarter of the nodes relabeled (75% agreement): NMI strictly
+	// between 0 and 1. (Note 50% agreement on two balanced labels is
+	// exactly independence — MI 0.)
+	n := 1000
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = int32(i % 2)
+		if i < 3*n/4 {
+			b[i] = a[i]
+		} else {
+			b[i] = int32((i + 1) % 2)
+		}
+	}
+	got := NMI(a, b)
+	if got <= 0.1 || got >= 0.9 {
+		t.Fatalf("NMI partial=%g want strictly inside (0,1)", got)
+	}
+}
+
+func TestNMIEdgeCases(t *testing.T) {
+	if NMI(nil, nil) != 0 {
+		t.Fatal("nil labelings should give 0")
+	}
+	if NMI([]int32{0, 1}, []int32{0}) != 0 {
+		t.Fatal("length mismatch should give 0")
+	}
+	// Both constant: identical trivial partitions.
+	if got := NMI([]int32{3, 3, 3}, []int32{7, 7, 7}); got != 1 {
+		t.Fatalf("constant/constant=%g want 1", got)
+	}
+	// One constant, one not.
+	if got := NMI([]int32{0, 0, 0}, []int32{0, 1, 2}); got != 0 {
+		t.Fatalf("constant/varied=%g want 0", got)
+	}
+}
+
+func TestNMISymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 500
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := range a {
+		a[i] = int32(rng.Intn(5))
+		b[i] = int32(rng.Intn(3))
+	}
+	if math.Abs(NMI(a, b)-NMI(b, a)) > 1e-12 {
+		t.Fatal("NMI not symmetric")
+	}
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// PageRankOptions tunes the power iteration.
+type PageRankOptions struct {
+	// Damping is the probability of following an edge (default 0.85).
+	Damping float64
+	// Epsilon is the L1 convergence threshold (default 1e-9).
+	Epsilon float64
+	// MaxIter caps the iterations (default 100).
+	MaxIter int
+}
+
+func (o PageRankOptions) withDefaults() PageRankOptions {
+	if o.Damping <= 0 || o.Damping >= 1 {
+		o.Damping = 0.85
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-9
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+	return o
+}
+
+// PageRank computes the PageRank vector by power iteration, weighting
+// transitions by edge weight. Dangling nodes redistribute uniformly. The
+// result sums to 1.
+func PageRank(g *graph.Graph, opts PageRankOptions) []float64 {
+	opts = opts.withDefaults()
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1.0 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	wdeg := make([]float64, n)
+	for u := 0; u < n; u++ {
+		wdeg[u] = g.WeightedDegree(graph.NodeID(u))
+	}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		var dangling float64
+		for u := 0; u < n; u++ {
+			if wdeg[u] == 0 {
+				dangling += rank[u]
+			}
+		}
+		base := (1-opts.Damping)*1.0/float64(n) + opts.Damping*dangling/float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		for u := 0; u < n; u++ {
+			if wdeg[u] == 0 {
+				continue
+			}
+			share := opts.Damping * rank[u] / wdeg[u]
+			for _, e := range g.Neighbors(graph.NodeID(u)) {
+				next[e.To] += share * e.Weight
+			}
+		}
+		var delta float64
+		for i := range rank {
+			delta += math.Abs(next[i] - rank[i])
+		}
+		rank, next = next, rank
+		if delta < opts.Epsilon {
+			break
+		}
+	}
+	return rank
+}
+
+// TopKByRank returns the k nodes with the highest scores (ties by id).
+func TopKByRank(scores []float64, k int) []graph.NodeID {
+	ids := make([]graph.NodeID, len(scores))
+	for i := range ids {
+		ids[i] = graph.NodeID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if scores[ids[i]] != scores[ids[j]] {
+			return scores[ids[i]] > scores[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+// SubgraphReport bundles every metric GMine computes for a focused
+// subgraph (paper §III.B).
+type SubgraphReport struct {
+	Nodes             int
+	Edges             int
+	Degree            DegreeStats
+	WeakComponents    int
+	StrongComponents  int
+	EffectiveDiameter int
+	MaxHops           int
+	// TopRanked lists the ids of the 10 highest-PageRank nodes.
+	TopRanked []graph.NodeID
+	PageRank  []float64
+}
+
+// Report computes the full §III.B metric suite for a subgraph. hopSamples
+// bounds the hop-plot BFS sources (<=0 = exact).
+func Report(g *graph.Graph, hopSamples int, seed int64) SubgraphReport {
+	r := SubgraphReport{
+		Nodes:  g.NumNodes(),
+		Edges:  g.NumEdges(),
+		Degree: DegreeDistribution(g),
+	}
+	_, r.WeakComponents = WeakComponents(g)
+	_, r.StrongComponents = StrongComponents(g)
+	hp := ComputeHopPlot(g, hopSamples, newRand(seed))
+	r.EffectiveDiameter = hp.EffectiveDiameter
+	r.MaxHops = hp.MaxHops
+	r.PageRank = PageRank(g, PageRankOptions{})
+	r.TopRanked = TopKByRank(r.PageRank, 10)
+	return r
+}

@@ -1,0 +1,6 @@
+package analysis
+
+import "math/rand"
+
+// newRand returns a deterministic rand for the given seed.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,296 @@
+// Package core is the GMine engine: it ties the substrates together into
+// the system the paper demonstrates — build a G-Tree over a large graph,
+// persist it to a single file, navigate it interactively with Tomahawk
+// scenes, query labels, compute §III.B mining metrics on focused
+// subgraphs, extract connection subgraphs, and render everything to SVG.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/extract"
+	"repro/internal/graph"
+	"repro/internal/gtree"
+	"repro/internal/layout"
+	"repro/internal/partition"
+	"repro/internal/render"
+)
+
+// BuildConfig configures engine construction over an in-memory graph.
+type BuildConfig struct {
+	// K is the hierarchy fanout (paper: 5).
+	K int
+	// Levels is the number of hierarchy levels including the root
+	// (paper: 5).
+	Levels int
+	// MinCommunity stops splitting communities at or below this size
+	// (0 = 2*K).
+	MinCommunity int
+	// Method selects the partitioner (default Multilevel).
+	Method partition.Method
+	// Seed drives all randomized steps.
+	Seed int64
+	// Parallel bounds concurrent community partitionings per level
+	// (0 = GOMAXPROCS); the result is identical for any value.
+	Parallel int
+}
+
+// Engine is a GMine session over one graph. It is either memory-backed
+// (BuildEngine: full graph resident, extraction available) or disk-backed
+// (OpenEngine: only topology+connectivity resident, leaves paged in on
+// demand).
+type Engine struct {
+	g     *graph.Graph
+	tree  *gtree.Tree
+	store *gtree.Store
+
+	focus   gtree.TreeID
+	history []gtree.TreeID
+}
+
+// BuildEngine partitions g recursively and returns a memory-backed engine
+// focused at the root.
+func BuildEngine(g *graph.Graph, cfg BuildConfig) (*Engine, error) {
+	t, err := gtree.Build(g, gtree.BuildOptions{
+		K:            cfg.K,
+		Levels:       cfg.Levels,
+		MinCommunity: cfg.MinCommunity,
+		Parallel:     cfg.Parallel,
+		Partition:    partition.Options{Method: cfg.Method, Seed: cfg.Seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{g: g, tree: t, focus: t.Root()}, nil
+}
+
+// SaveTree persists the engine's G-Tree (with leaf subgraphs and label
+// index) into a single page file. Only memory-backed engines can save.
+func (e *Engine) SaveTree(path string, pageSize int) error {
+	if e.g == nil {
+		return fmt.Errorf("core: disk-backed engine cannot re-save")
+	}
+	return gtree.Save(e.tree, e.g, path, pageSize)
+}
+
+// OpenEngine opens a persisted G-Tree file as a disk-backed engine.
+// poolPages bounds the buffer pool (0 = default).
+func OpenEngine(path string, poolPages int) (*Engine, error) {
+	st, err := gtree.OpenFile(path, poolPages)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{store: st, tree: st.Tree(), focus: st.Tree().Root()}, nil
+}
+
+// Close releases the underlying file of a disk-backed engine (no-op for
+// memory-backed ones).
+func (e *Engine) Close() error {
+	if e.store != nil {
+		return e.store.Close()
+	}
+	return nil
+}
+
+// Tree returns the engine's G-Tree.
+func (e *Engine) Tree() *gtree.Tree { return e.tree }
+
+// Graph returns the in-memory source graph, or nil for disk-backed
+// engines.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Store returns the backing store of disk-backed engines (nil otherwise).
+func (e *Engine) Store() *gtree.Store { return e.store }
+
+// DiskBacked reports whether leaves are paged from a file.
+func (e *Engine) DiskBacked() bool { return e.store != nil }
+
+// --- Navigation session -------------------------------------------------
+
+// Focus returns the community currently in focus.
+func (e *Engine) Focus() gtree.TreeID { return e.focus }
+
+// FocusOn moves the focus to an arbitrary community, recording history.
+func (e *Engine) FocusOn(id gtree.TreeID) error {
+	if !e.tree.Valid(id) {
+		return fmt.Errorf("core: invalid community %d", id)
+	}
+	e.history = append(e.history, e.focus)
+	e.focus = id
+	return nil
+}
+
+// FocusParent moves the focus one level up.
+func (e *Engine) FocusParent() error {
+	p := e.tree.Node(e.focus).Parent
+	if p == gtree.InvalidTree {
+		return fmt.Errorf("core: already at the root")
+	}
+	return e.FocusOn(p)
+}
+
+// FocusChild moves the focus to the i-th child of the current focus.
+func (e *Engine) FocusChild(i int) error {
+	ch := e.tree.Node(e.focus).Children
+	if i < 0 || i >= len(ch) {
+		return fmt.Errorf("core: focus %d has %d children, no index %d", e.focus, len(ch), i)
+	}
+	return e.FocusOn(ch[i])
+}
+
+// Back undoes the last focus change.
+func (e *Engine) Back() error {
+	if len(e.history) == 0 {
+		return fmt.Errorf("core: no focus history")
+	}
+	e.focus = e.history[len(e.history)-1]
+	e.history = e.history[:len(e.history)-1]
+	return nil
+}
+
+// Scene builds the Tomahawk scene for the current focus.
+func (e *Engine) Scene(opts gtree.TomahawkOptions) *gtree.Scene {
+	return e.tree.Tomahawk(e.focus, opts)
+}
+
+// RenderScene renders the current Tomahawk scene to SVG.
+func (e *Engine) RenderScene(size float64, opts gtree.TomahawkOptions) string {
+	s := e.Scene(opts)
+	l := layout.LayoutScene(e.tree, s, size/2)
+	return render.SceneSVG(e.tree, s, l, size)
+}
+
+// --- Leaf access ----------------------------------------------------------
+
+// LeafSubgraph returns the induced subgraph of a leaf community (local
+// coordinates, labels carried) and the mapping back to original node ids.
+// Memory-backed engines induce from the resident graph; disk-backed ones
+// page the leaf blob in.
+func (e *Engine) LeafSubgraph(id gtree.TreeID) (*graph.Graph, []graph.NodeID, error) {
+	if !e.tree.Valid(id) {
+		return nil, nil, fmt.Errorf("core: invalid community %d", id)
+	}
+	if !e.tree.Node(id).IsLeaf() {
+		return nil, nil, fmt.Errorf("core: community %d is not a leaf", id)
+	}
+	if e.store != nil {
+		return e.store.LoadLeaf(id)
+	}
+	sub, members := graph.Induced(e.g, e.tree.Node(id).Members)
+	return sub, members, nil
+}
+
+// RenderLeaf force-lays-out a leaf community's subgraph and renders it,
+// highlighting the given original-graph nodes.
+func (e *Engine) RenderLeaf(id gtree.TreeID, size float64, highlight []graph.NodeID, seed int64) (string, error) {
+	sub, members, err := e.LeafSubgraph(id)
+	if err != nil {
+		return "", err
+	}
+	local := map[graph.NodeID]graph.NodeID{}
+	for i, u := range members {
+		local[u] = graph.NodeID(i)
+	}
+	var hl []graph.NodeID
+	for _, h := range highlight {
+		if l, ok := local[h]; ok {
+			hl = append(hl, l)
+		}
+	}
+	pos := layout.ForceLayout(sub, layout.Circle{R: size / 2 * 0.9}, layout.ForceOptions{Seed: seed})
+	return render.SubgraphSVG(sub, pos, hl, size), nil
+}
+
+// MetricsReport computes the §III.B metric suite on a leaf community's
+// subgraph: degree distribution, hops, weak/strong components, PageRank.
+func (e *Engine) MetricsReport(id gtree.TreeID, seed int64) (analysis.SubgraphReport, error) {
+	sub, _, err := e.LeafSubgraph(id)
+	if err != nil {
+		return analysis.SubgraphReport{}, err
+	}
+	return analysis.Report(sub, 0, seed), nil
+}
+
+// --- Label queries ---------------------------------------------------------
+
+// LabelHit re-exports gtree's label query result.
+type LabelHit = gtree.LabelHit
+
+// FindLabel locates nodes by exact label. Disk-backed engines use the
+// persisted label index; memory-backed engines scan the resident labels.
+func (e *Engine) FindLabel(label string) ([]LabelHit, error) {
+	if e.store != nil {
+		return e.store.FindLabel(label)
+	}
+	var hits []LabelHit
+	for u, l := range e.g.Labels() {
+		if l == label {
+			leaf := e.tree.LeafOf(graph.NodeID(u))
+			hits = append(hits, LabelHit{Label: l, Node: graph.NodeID(u), Leaf: leaf, Path: e.tree.Path(leaf)})
+		}
+	}
+	return hits, nil
+}
+
+// --- Extraction --------------------------------------------------------------
+
+// Extract runs the multi-source connection subgraph extraction (§IV) on
+// the resident graph. Disk-backed engines cannot extract (the full graph
+// is not resident); rebuild from the source graph for extraction queries.
+func (e *Engine) Extract(sources []graph.NodeID, opts extract.Options) (*extract.Result, error) {
+	if e.g == nil {
+		return nil, fmt.Errorf("core: extraction needs a memory-backed engine")
+	}
+	return extract.ConnectionSubgraph(e.g, sources, opts)
+}
+
+// ExtractByLabels resolves labels to nodes and extracts their connection
+// subgraph.
+func (e *Engine) ExtractByLabels(labels []string, opts extract.Options) (*extract.Result, error) {
+	if e.g == nil {
+		return nil, fmt.Errorf("core: extraction needs a memory-backed engine")
+	}
+	var sources []graph.NodeID
+	for _, l := range labels {
+		id := e.g.FindLabel(l)
+		if id < 0 {
+			return nil, fmt.Errorf("core: label %q not found", l)
+		}
+		sources = append(sources, id)
+	}
+	return e.Extract(sources, opts)
+}
+
+// ExtractAndBuild is the Fig 6 pipeline: extract a subgraph of interest
+// and hierarchically partition it for communities-within-communities
+// visualization, returning a new memory-backed engine over the extracted
+// subgraph.
+func (e *Engine) ExtractAndBuild(sources []graph.NodeID, eopts extract.Options, bcfg BuildConfig) (*Engine, *extract.Result, error) {
+	res, err := e.Extract(sources, eopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, err := BuildEngine(res.Subgraph, bcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, res, nil
+}
+
+// RenderExtraction lays out and renders an extraction result, highlighting
+// the source nodes.
+func RenderExtraction(res *extract.Result, size float64, seed int64) string {
+	pos := layout.ForceLayout(res.Subgraph, layout.Circle{R: size / 2 * 0.9}, layout.ForceOptions{Seed: seed})
+	return render.SubgraphSVG(res.Subgraph, pos, res.Sources, size)
+}
+
+// --- Whole-graph baseline (E8) ------------------------------------------------
+
+// FullDrawBaseline performs the naive alternative GMine replaces: a
+// force-directed layout of the entire graph in one shot. Used by the E8
+// scalability experiment; interactive systems cannot afford this per
+// interaction on large graphs.
+func FullDrawBaseline(g *graph.Graph, iterations int, seed int64) []layout.Point {
+	return layout.ForceLayout(g, layout.Circle{R: 1000}, layout.ForceOptions{Iterations: iterations, Seed: seed})
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dblp"
+	"repro/internal/extract"
+	"repro/internal/graph"
+	"repro/internal/gtree"
+)
+
+func testEngine(t *testing.T) (*Engine, *dblp.Dataset) {
+	t.Helper()
+	ds := dblp.SmallFixture()
+	e, err := BuildEngine(ds.Graph, BuildConfig{K: 3, Levels: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, ds
+}
+
+func TestBuildEngineBasics(t *testing.T) {
+	e, ds := testEngine(t)
+	if e.DiskBacked() {
+		t.Fatal("memory engine reports disk-backed")
+	}
+	if e.Graph() != ds.Graph {
+		t.Fatal("engine lost its graph")
+	}
+	if e.Focus() != e.Tree().Root() {
+		t.Fatal("initial focus not at root")
+	}
+	if err := e.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNavigationSession(t *testing.T) {
+	e, _ := testEngine(t)
+	root := e.Tree().Root()
+	if err := e.FocusParent(); err == nil {
+		t.Fatal("FocusParent at root should fail")
+	}
+	if err := e.FocusChild(0); err != nil {
+		t.Fatal(err)
+	}
+	child := e.Focus()
+	if e.Tree().Node(child).Parent != root {
+		t.Fatal("FocusChild went astray")
+	}
+	if err := e.FocusChild(99); err == nil {
+		t.Fatal("accepted out-of-range child")
+	}
+	if err := e.FocusParent(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Focus() != root {
+		t.Fatal("FocusParent did not return to root")
+	}
+	if err := e.Back(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Focus() != child {
+		t.Fatal("Back did not restore previous focus")
+	}
+	if err := e.FocusOn(gtree.TreeID(-5)); err == nil {
+		t.Fatal("accepted invalid focus")
+	}
+	e2, _ := testEngine(t)
+	if err := e2.Back(); err == nil {
+		t.Fatal("Back with no history should fail")
+	}
+}
+
+func TestSceneAndRender(t *testing.T) {
+	e, _ := testEngine(t)
+	if err := e.FocusChild(0); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Scene(gtree.TomahawkOptions{})
+	if s.Focus != e.Focus() {
+		t.Fatal("scene focus mismatch")
+	}
+	svg := e.RenderScene(800, gtree.TomahawkOptions{Grandchildren: true})
+	if !strings.HasPrefix(svg, "<?xml") || !strings.Contains(svg, "<svg") {
+		t.Fatal("scene render is not SVG")
+	}
+	if !strings.Contains(svg, "<circle") {
+		t.Fatal("scene render has no community circles")
+	}
+}
+
+func TestLeafSubgraphAndMetrics(t *testing.T) {
+	e, _ := testEngine(t)
+	leaves := e.Tree().Leaves()
+	sub, members, err := e.LeafSubgraph(leaves[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumNodes() != len(members) || sub.NumNodes() != e.Tree().Node(leaves[0]).Size {
+		t.Fatal("leaf subgraph size mismatch")
+	}
+	if _, _, err := e.LeafSubgraph(e.Tree().Root()); err == nil {
+		t.Fatal("accepted non-leaf")
+	}
+	rep, err := e.MetricsReport(leaves[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != sub.NumNodes() || rep.Edges != sub.NumEdges() {
+		t.Fatal("metrics report inconsistent")
+	}
+	svg, err := e.RenderLeaf(leaves[0], 600, members[:1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<circle") {
+		t.Fatal("leaf render empty")
+	}
+}
+
+func TestFindLabelMemoryBacked(t *testing.T) {
+	e, ds := testEngine(t)
+	hits, err := e.FindLabel(dblp.NameJiaweiHan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("hits=%d want 1", len(hits))
+	}
+	if hits[0].Node != ds.Notables[dblp.NameJiaweiHan] {
+		t.Fatal("wrong node for Jiawei Han")
+	}
+	if hits[0].Leaf != e.Tree().LeafOf(hits[0].Node) {
+		t.Fatal("hit leaf inconsistent")
+	}
+}
+
+func TestSaveOpenDiskBackedEngine(t *testing.T) {
+	e, ds := testEngine(t)
+	path := filepath.Join(t.TempDir(), "dblp.gmine")
+	if err := e.SaveTree(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenEngine(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if !d.DiskBacked() {
+		t.Fatal("opened engine not disk-backed")
+	}
+	if d.Tree().NumCommunities() != e.Tree().NumCommunities() {
+		t.Fatal("community count changed across save/open")
+	}
+	// Label query via the persisted index.
+	hits, err := d.FindLabel(dblp.NameKeWang)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Node != ds.Notables[dblp.NameKeWang] {
+		t.Fatal("disk label query wrong")
+	}
+	// Leaf loading and metrics work from disk.
+	leaf := hits[0].Leaf
+	if _, _, err := d.LeafSubgraph(leaf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.MetricsReport(leaf, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Extraction is refused (no resident graph).
+	if _, err := d.Extract([]graph.NodeID{0, 1}, extract.Options{Budget: 5}); err == nil {
+		t.Fatal("disk-backed engine extracted")
+	}
+	// Saving again is refused.
+	if err := d.SaveTree(path, 0); err == nil {
+		t.Fatal("disk-backed engine re-saved")
+	}
+}
+
+func TestExtractByLabels(t *testing.T) {
+	e, _ := testEngine(t)
+	res, err := e.ExtractByLabels(
+		[]string{dblp.NamePhilipYu, dblp.NameFlipKorn, dblp.NameGarofalakis},
+		extract.Options{Budget: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subgraph.NumNodes() > 30 {
+		t.Fatalf("budget exceeded: %d", res.Subgraph.NumNodes())
+	}
+	// All three sources are present with their labels.
+	found := 0
+	for _, li := range res.Sources {
+		l := res.Subgraph.Label(li)
+		if l == dblp.NamePhilipYu || l == dblp.NameFlipKorn || l == dblp.NameGarofalakis {
+			found++
+		}
+	}
+	if found != 3 {
+		t.Fatalf("found %d source labels, want 3", found)
+	}
+	if _, err := e.ExtractByLabels([]string{"No Such Author"}, extract.Options{Budget: 5}); err == nil {
+		t.Fatal("accepted unknown label")
+	}
+}
+
+func TestExtractAndBuildPipeline(t *testing.T) {
+	e, ds := testEngine(t)
+	sources := []graph.NodeID{
+		ds.Notables[dblp.NamePhilipYu],
+		ds.Notables[dblp.NameFlipKorn],
+		ds.Notables[dblp.NameGarofalakis],
+	}
+	sub, res, err := e.ExtractAndBuild(sources,
+		extract.Options{Budget: 60},
+		BuildConfig{K: 3, Levels: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Subgraph.NumNodes() > 60 {
+		t.Fatal("extraction budget exceeded")
+	}
+	if sub.Tree().Node(sub.Tree().Root()).Size != res.Subgraph.NumNodes() {
+		t.Fatal("pipeline tree does not cover the extracted subgraph")
+	}
+	if err := sub.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	svg := RenderExtraction(res, 600, 1)
+	if !strings.Contains(svg, "<circle") {
+		t.Fatal("extraction render empty")
+	}
+}
+
+func TestFullDrawBaseline(t *testing.T) {
+	e, _ := testEngine(t)
+	pos := FullDrawBaseline(e.Graph(), 5, 1)
+	if len(pos) != e.Graph().NumNodes() {
+		t.Fatal("baseline layout missing nodes")
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/gtree"
+	"repro/internal/layout"
+	"repro/internal/render"
+)
+
+// This file implements the remaining §III.B interactions: "GMine also
+// offers pop up node information, edge expansion and edition of nodes and
+// edges". NodeInfo is the pop-up; Workspace is the editable drawing
+// surface a focused subgraph becomes, with edge expansion pulling in
+// cross-community edges from the full graph.
+
+// NodeInfo is the pop-up shown when hovering a node (Fig 5's "one can see
+// Prof. H. V. Jagadish data and his edges highlighted").
+type NodeInfo struct {
+	Node           graph.NodeID
+	Label          string
+	Degree         int
+	WeightedDegree float64
+	// Leaf is the community holding the node; Path its hierarchy path.
+	Leaf gtree.TreeID
+	Path []gtree.TreeID
+	// TopCoauthors lists up to 5 heaviest neighbors (label, weight).
+	TopCoauthors []Coauthor
+}
+
+// Coauthor is one neighbor entry of a pop-up.
+type Coauthor struct {
+	Node   graph.NodeID
+	Label  string
+	Weight float64
+}
+
+// NodeInfo returns the pop-up information for an original-graph node.
+// Memory-backed engines only (the full adjacency is needed).
+func (e *Engine) NodeInfo(u graph.NodeID) (*NodeInfo, error) {
+	if e.g == nil {
+		return nil, fmt.Errorf("core: NodeInfo needs a memory-backed engine")
+	}
+	if err := e.g.CheckNode(u); err != nil {
+		return nil, err
+	}
+	info := &NodeInfo{
+		Node:           u,
+		Label:          e.g.Label(u),
+		Degree:         e.g.Degree(u),
+		WeightedDegree: e.g.WeightedDegree(u),
+		Leaf:           e.tree.LeafOf(u),
+	}
+	if info.Leaf != gtree.InvalidTree {
+		info.Path = e.tree.Path(info.Leaf)
+	}
+	nbrs := append([]graph.Edge(nil), e.g.Neighbors(u)...)
+	sort.Slice(nbrs, func(i, j int) bool {
+		if nbrs[i].Weight != nbrs[j].Weight {
+			return nbrs[i].Weight > nbrs[j].Weight
+		}
+		return nbrs[i].To < nbrs[j].To
+	})
+	for i := 0; i < len(nbrs) && i < 5; i++ {
+		info.TopCoauthors = append(info.TopCoauthors, Coauthor{
+			Node: nbrs[i].To, Label: e.g.Label(nbrs[i].To), Weight: nbrs[i].Weight,
+		})
+	}
+	return info, nil
+}
+
+// Workspace is an editable working subgraph: the region of the
+// visualization scene that "becomes a regular area for graph drawing"
+// when a community is expanded. It supports GMine's editing interactions
+// (add/remove nodes and edges) and edge expansion against the engine's
+// full graph.
+type Workspace struct {
+	eng *Engine
+	sub *graph.Graph
+	// members maps local ids to original graph ids; -1 for nodes created
+	// by editing that have no original counterpart.
+	members []graph.NodeID
+	local   map[graph.NodeID]graph.NodeID // original -> local
+	edits   int
+}
+
+// WorkspaceFromLeaf opens a leaf community as an editable workspace.
+func (e *Engine) WorkspaceFromLeaf(id gtree.TreeID) (*Workspace, error) {
+	sub, members, err := e.LeafSubgraph(id)
+	if err != nil {
+		return nil, err
+	}
+	w := &Workspace{eng: e, sub: sub, members: members, local: map[graph.NodeID]graph.NodeID{}}
+	for i, u := range members {
+		w.local[u] = graph.NodeID(i)
+	}
+	return w, nil
+}
+
+// Graph returns the current working subgraph (local coordinates).
+func (w *Workspace) Graph() *graph.Graph { return w.sub }
+
+// Members returns the local->original mapping (-1 for edited-in nodes).
+func (w *Workspace) Members() []graph.NodeID { return w.members }
+
+// Edits returns the number of applied editing operations.
+func (w *Workspace) Edits() int { return w.edits }
+
+// OriginalOf returns the original graph node behind a local id, or -1.
+func (w *Workspace) OriginalOf(local graph.NodeID) graph.NodeID {
+	if int(local) >= len(w.members) {
+		return -1
+	}
+	return w.members[local]
+}
+
+// LocalOf returns the local id of an original node, or -1 if absent.
+func (w *Workspace) LocalOf(orig graph.NodeID) graph.NodeID {
+	if l, ok := w.local[orig]; ok {
+		return l
+	}
+	return -1
+}
+
+// AddNode creates a new node in the workspace (a pure editing operation;
+// it has no counterpart in the original graph).
+func (w *Workspace) AddNode(label string) graph.NodeID {
+	id := w.sub.AddNode(label)
+	w.members = append(w.members, -1)
+	w.edits++
+	return id
+}
+
+// AddEdge adds (or reinforces) an edge between two local nodes.
+func (w *Workspace) AddEdge(u, v graph.NodeID, weight float64) error {
+	if err := w.sub.CheckNode(u); err != nil {
+		return err
+	}
+	if err := w.sub.CheckNode(v); err != nil {
+		return err
+	}
+	if weight <= 0 {
+		return fmt.Errorf("core: edge weight must be positive")
+	}
+	w.sub.AddEdge(u, v, weight)
+	w.sub.Dedup()
+	w.edits++
+	return nil
+}
+
+// RemoveEdge deletes the edge between two local nodes if present.
+func (w *Workspace) RemoveEdge(u, v graph.NodeID) error {
+	if err := w.sub.CheckNode(u); err != nil {
+		return err
+	}
+	if err := w.sub.CheckNode(v); err != nil {
+		return err
+	}
+	if !w.sub.HasEdge(u, v) {
+		return fmt.Errorf("core: no edge %d-%d", u, v)
+	}
+	// Rebuild without the edge (workspaces are community-sized; a rebuild
+	// is simpler and safer than in-place splicing).
+	ng := graph.NewWithNodes(w.sub.NumNodes(), w.sub.Directed())
+	if w.sub.Labeled() {
+		for i, l := range w.sub.Labels() {
+			if l != "" {
+				ng.SetLabel(graph.NodeID(i), l)
+			}
+		}
+	}
+	w.sub.Edges(func(a, b graph.NodeID, wt float64) bool {
+		if !(a == u && b == v) && !(a == v && b == u) {
+			ng.AddEdge(a, b, wt)
+		}
+		return true
+	})
+	w.sub = ng
+	w.edits++
+	return nil
+}
+
+// RemoveNode deletes a local node and its incident edges. Local ids above
+// it shift down by one (the mapping slices are updated accordingly).
+func (w *Workspace) RemoveNode(u graph.NodeID) error {
+	if err := w.sub.CheckNode(u); err != nil {
+		return err
+	}
+	keep := make([]graph.NodeID, 0, w.sub.NumNodes()-1)
+	for i := 0; i < w.sub.NumNodes(); i++ {
+		if graph.NodeID(i) != u {
+			keep = append(keep, graph.NodeID(i))
+		}
+	}
+	ng, _ := graph.Induced(w.sub, keep)
+	newMembers := make([]graph.NodeID, 0, len(keep))
+	for _, old := range keep {
+		newMembers = append(newMembers, w.members[old])
+	}
+	w.sub = ng
+	w.members = newMembers
+	w.local = map[graph.NodeID]graph.NodeID{}
+	for i, orig := range w.members {
+		if orig >= 0 {
+			w.local[orig] = graph.NodeID(i)
+		}
+	}
+	w.edits++
+	return nil
+}
+
+// ExpandNode performs GMine's edge expansion: it pulls the cross-community
+// neighbors of a node from the full graph into the workspace, together
+// with their connecting edges. Returns the local ids of newly added
+// neighbors. Memory-backed engines only.
+func (w *Workspace) ExpandNode(local graph.NodeID, maxNew int) ([]graph.NodeID, error) {
+	if w.eng.g == nil {
+		return nil, fmt.Errorf("core: edge expansion needs a memory-backed engine")
+	}
+	if err := w.sub.CheckNode(local); err != nil {
+		return nil, err
+	}
+	orig := w.OriginalOf(local)
+	if orig < 0 {
+		return nil, fmt.Errorf("core: node %d was created by editing; nothing to expand", local)
+	}
+	if maxNew <= 0 {
+		maxNew = 10
+	}
+	// Heaviest absent neighbors first.
+	nbrs := append([]graph.Edge(nil), w.eng.g.Neighbors(orig)...)
+	sort.Slice(nbrs, func(i, j int) bool {
+		if nbrs[i].Weight != nbrs[j].Weight {
+			return nbrs[i].Weight > nbrs[j].Weight
+		}
+		return nbrs[i].To < nbrs[j].To
+	})
+	var added []graph.NodeID
+	for _, e := range nbrs {
+		if len(added) >= maxNew {
+			break
+		}
+		if _, ok := w.local[e.To]; ok {
+			continue
+		}
+		nl := w.sub.AddNode(w.eng.g.Label(e.To))
+		w.members = append(w.members, e.To)
+		w.local[e.To] = nl
+		w.sub.AddEdge(local, nl, e.Weight)
+		added = append(added, nl)
+	}
+	// Wire edges among everything now present (new nodes may connect to
+	// existing workspace nodes beyond the expanded one).
+	for _, nl := range added {
+		o := w.members[nl]
+		for _, e := range w.eng.g.Neighbors(o) {
+			if tl, ok := w.local[e.To]; ok && tl != local && !w.sub.HasEdge(nl, tl) {
+				w.sub.AddEdge(nl, tl, e.Weight)
+			}
+		}
+	}
+	w.edits++
+	return added, nil
+}
+
+// Render lays out and renders the workspace, highlighting the given local
+// nodes.
+func (w *Workspace) Render(size float64, highlight []graph.NodeID, seed int64) string {
+	pos := layout.ForceLayout(w.sub, layout.Circle{R: size / 2 * 0.9}, layout.ForceOptions{Seed: seed})
+	return render.SubgraphSVG(w.sub, pos, highlight, size)
+}

@@ -1,0 +1,67 @@
+// Package dblp generates a synthetic stand-in for the DBLP co-authorship
+// snapshot the paper uses (n = 315,688 authors, e = 1,659,853 co-author
+// edges). The real snapshot is not redistributable, so the generator
+// reproduces the properties GMine's behaviour depends on: planted
+// community structure (research communities), heavy-tailed author
+// productivity (papers add 2–5 author cliques with preferential
+// attachment), sparse cross-community collaborations, and distinct author
+// names. The authors used by the paper's figure narratives are planted
+// with the topology the figures describe (see PlantNotables).
+package dblp
+
+import "fmt"
+
+var firstSyllables = []string{
+	"An", "Bei", "Chen", "Dan", "Er", "Fa", "Gao", "Hui", "Ion", "Jun",
+	"Kai", "Lan", "Mei", "Nor", "Ola", "Pra", "Qi", "Ras", "San", "Tao",
+	"Uwe", "Vik", "Wen", "Xi", "Ya", "Zhi",
+}
+
+var firstEndings = []string{
+	"", "na", "ro", "lia", "der", "min", "ka", "shan", "to", "vi",
+	"mar", "bel", "dra", "el", "io", "us",
+}
+
+var lastSyllables = []string{
+	"Al", "Ber", "Car", "Dim", "Es", "Fer", "Gar", "Hos", "Iva", "Jo",
+	"Kal", "Lom", "Mar", "Nak", "Oli", "Pet", "Qui", "Ros", "Sat", "Tor",
+	"Ulr", "Vas", "Wil", "Xu", "Yam", "Zh",
+}
+
+var lastEndings = []string{
+	"berg", "ani", "sson", "oto", "ez", "ikov", "ner", "aki", "dal", "ura",
+	"ström", "etti", "ov", "sen", "ida", "ishi", "mann", "akis", "pol", "eda",
+}
+
+// AuthorName returns a deterministic, unique synthetic author name for an
+// author index. The base space (26 firsts × 16 endings × 26 middles × 26
+// lasts × 20 endings) covers ~5.6M combinations; beyond that a DBLP-style
+// numeric disambiguator is appended (DBLP itself names collisions
+// "Wei Wang 0001").
+//
+// Digits are extracted surname-first and each digit is offset by the ones
+// below it; the cascade is invertible (decode lowest digit first), so
+// names stay unique while consecutive indices get unrelated-looking names.
+func AuthorName(i int) string {
+	d0 := i % len(lastSyllables)
+	i /= len(lastSyllables)
+	d1 := i % len(lastEndings)
+	i /= len(lastEndings)
+	d2 := i % len(firstSyllables)
+	i /= len(firstSyllables)
+	d3 := i % len(firstEndings)
+	i /= len(firstEndings)
+	d4 := i % 26
+	i /= 26
+	d1 = (d1 + 7*d0) % len(lastEndings)
+	d2 = (d2 + 11*d0 + 3*d1) % len(firstSyllables)
+	d3 = (d3 + 5*d0 + d2) % len(firstEndings)
+	d4 = (d4 + d0 + d1 + d2 + d3) % 26
+	name := fmt.Sprintf("%s%s %c. %s%s",
+		firstSyllables[d2], firstEndings[d3], byte('A'+d4),
+		lastSyllables[d0], lastEndings[d1])
+	if i > 0 {
+		name = fmt.Sprintf("%s %04d", name, i)
+	}
+	return name
+}

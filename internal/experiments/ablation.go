@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/extract"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// AblationResult bundles the design-choice isolation runs DESIGN.md lists.
+type AblationResult struct {
+	// Edge cut by partitioner method (same graph, K, seed).
+	CutMultilevel, CutBFS, CutRandom float64
+	// Edge cut with and without FM refinement (K=2).
+	CutRefined, CutUnrefined float64
+	// Edge cut with and without the direct k-way refinement pass.
+	CutKWayRefined, CutPlainRecursive float64
+	// Overlap of the 30 best-goodness nodes for each restart c against
+	// the default c=0.15.
+	RestartOverlap map[float64]float64
+	// NMI of each partitioner's assignment against the generator's
+	// planted communities (external quality, complements edge cut).
+	NMIMultilevel, NMIBFS, NMIRandom float64
+}
+
+// RunAblations isolates the design choices: multilevel partitioning vs the
+// baselines (drives hierarchy quality), FM refinement on/off, and the RWR
+// restart probability's effect on extraction stability.
+func RunAblations(cfg *Config) error {
+	*cfg = cfg.withDefaults()
+	_, err := Ablations(cfg)
+	return err
+}
+
+// Ablations runs the suite and returns the measurements.
+func Ablations(cfg *Config) (*AblationResult, error) {
+	*cfg = cfg.withDefaults()
+	ds := cfg.dataset()
+	g := ds.Graph
+	res := &AblationResult{RestartOverlap: map[float64]float64{}}
+
+	// Partitioner quality at the paper's K: edge cut (internal) and NMI
+	// against the generator's planted communities (external). The planted
+	// labeling has ~25 communities vs K parts, so NMI stays well below 1
+	// even for a perfect partitioner — compare across methods.
+	planted := make([]int32, len(ds.Community))
+	for i, c := range ds.Community {
+		planted[i] = int32(c)
+	}
+	for _, m := range []partition.Method{partition.Multilevel, partition.BFSGrow, partition.Random} {
+		r, err := partition.Partition(g, partition.Options{K: cfg.K, Seed: cfg.Seed, Method: m})
+		if err != nil {
+			return nil, err
+		}
+		nmi := analysis.NMI(planted, r.Parts)
+		switch m {
+		case partition.Multilevel:
+			res.CutMultilevel, res.NMIMultilevel = r.Cut, nmi
+		case partition.BFSGrow:
+			res.CutBFS, res.NMIBFS = r.Cut, nmi
+		case partition.Random:
+			res.CutRandom, res.NMIRandom = r.Cut, nmi
+		}
+	}
+	cfg.printf("partitioner edge cut (K=%d): multilevel %.0f, bfs %.0f, random %.0f\n",
+		cfg.K, res.CutMultilevel, res.CutBFS, res.CutRandom)
+	cfg.printf("partitioner NMI vs planted communities: multilevel %.2f, bfs %.2f, random %.2f\n",
+		res.NMIMultilevel, res.NMIBFS, res.NMIRandom)
+
+	// Refinement on/off (bisection, where the guarantee is per-instance).
+	rOn, err := partition.Partition(g, partition.Options{K: 2, Seed: cfg.Seed, FMPasses: 4})
+	if err != nil {
+		return nil, err
+	}
+	rOff, err := partition.Partition(g, partition.Options{K: 2, Seed: cfg.Seed, FMPasses: -1})
+	if err != nil {
+		return nil, err
+	}
+	res.CutRefined, res.CutUnrefined = rOn.Cut, rOff.Cut
+	cfg.printf("FM refinement (K=2): with %.0f, without %.0f (%.1f%% reduction)\n",
+		res.CutRefined, res.CutUnrefined, 100*(1-res.CutRefined/max(res.CutUnrefined, 1)))
+
+	// Direct k-way refinement on top of recursive bisection.
+	kOn, err := partition.Partition(g, partition.Options{K: cfg.K, Seed: cfg.Seed, KWayRefine: true})
+	if err != nil {
+		return nil, err
+	}
+	kOff, err := partition.Partition(g, partition.Options{K: cfg.K, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	res.CutKWayRefined, res.CutPlainRecursive = kOn.Cut, kOff.Cut
+	cfg.printf("k-way refinement (K=%d): with %.0f, without %.0f\n",
+		cfg.K, res.CutKWayRefined, res.CutPlainRecursive)
+
+	// Restart probability sweep: stability of the top-goodness set.
+	csr := graph.ToCSR(g)
+	sources := []graph.NodeID{
+		ds.Notables["Philip S. Yu"],
+		ds.Notables["Flip Korn"],
+		ds.Notables["Minos N. Garofalakis"],
+	}
+	topSet := func(c float64) map[graph.NodeID]bool {
+		rwr, err := extract.RWRMulti(csr, sources, extract.RWROptions{Restart: c})
+		if err != nil {
+			return nil
+		}
+		good := extract.Goodness(rwr, extract.CombineAND, 0)
+		set := map[graph.NodeID]bool{}
+		for _, u := range extract.TopGoodness(good, 30) {
+			set[u] = true
+		}
+		return set
+	}
+	base := topSet(0.15)
+	for _, c := range []float64{0.05, 0.15, 0.30, 0.50} {
+		s := topSet(c)
+		inter := 0
+		for u := range s {
+			if base[u] {
+				inter++
+			}
+		}
+		res.RestartOverlap[c] = float64(inter) / 30
+		cfg.printf("restart c=%.2f: top-30 goodness overlap with c=0.15 baseline = %.2f\n",
+			c, res.RestartOverlap[c])
+	}
+	return res, nil
+}

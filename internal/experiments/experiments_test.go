@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps experiment tests fast: ~3000-node dataset, shallow tree.
+func smallCfg(t *testing.T) *Config {
+	t.Helper()
+	var buf bytes.Buffer
+	return &Config{
+		Scale:  0.01,
+		Seed:   1,
+		K:      3,
+		Levels: 3,
+		Out:    &buf,
+		Dir:    t.TempDir(),
+	}
+}
+
+func TestRunE1(t *testing.T) {
+	cfg := smallCfg(t)
+	res, err := RunE1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Leaves == 0 || res.Stats.Communities == 0 {
+		t.Fatal("no communities built")
+	}
+	if res.FileBytes == 0 {
+		t.Fatal("tree file not written")
+	}
+	if res.Stats.AvgLeafSize <= 0 {
+		t.Fatal("bad leaf size")
+	}
+	// K=3, Levels=3 => up to 9 leaves.
+	if res.Stats.Leaves > 9 {
+		t.Fatalf("leaves=%d want <= 9", res.Stats.Leaves)
+	}
+	if res.PaperLeaves != 9 {
+		t.Fatalf("paper leaves=%d want 9", res.PaperLeaves)
+	}
+}
+
+func TestRunE2ConnectivityMatchesBruteForce(t *testing.T) {
+	cfg := smallCfg(t)
+	res, err := RunE2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExampleConn.Count != res.BruteForceConn {
+		t.Fatalf("connectivity %d != brute force %d", res.ExampleConn.Count, res.BruteForceConn)
+	}
+	if res.LeafNodes == 0 {
+		t.Fatal("leaf subgraph empty")
+	}
+	if res.SceneSVGPath == "" || res.SubgraphSVGPath == "" {
+		t.Fatal("artifacts missing")
+	}
+}
+
+func TestRunE3Narrative(t *testing.T) {
+	cfg := smallCfg(t)
+	res, err := RunE3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TopCommunities == 0 || res.SecondLevel == 0 {
+		t.Fatal("root scene empty")
+	}
+	if res.OutlierWeight != 1 {
+		t.Fatalf("outlier weight %.0f want 1 (single 1989 publication)", res.OutlierWeight)
+	}
+	if !strings.Contains(res.HanPath, "s000") {
+		t.Fatalf("Han path %q should start at the root", res.HanPath)
+	}
+	if res.HanLeafSize == 0 {
+		t.Fatal("Han community empty")
+	}
+	if res.HanTopCoauthor != "Ke Wang" {
+		t.Fatalf("top co-author %q want Ke Wang", res.HanTopCoauthor)
+	}
+	if res.HanTopWeight < 18 {
+		t.Fatalf("Han-Wang weight %.0f want >= 18", res.HanTopWeight)
+	}
+}
+
+func TestRunE4TomahawkFlat(t *testing.T) {
+	cfg := smallCfg(t)
+	res, err := RunE4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows=%d want 3", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.TomahawkSize > res.Bound {
+			t.Fatalf("tomahawk scene %d exceeds bound %d", r.TomahawkSize, res.Bound)
+		}
+	}
+	// The full-level scene on the largest graph must exceed the Tomahawk
+	// scene (that is the point of the principle).
+	last := res.Rows[len(res.Rows)-1]
+	if last.FullLevel <= last.TomahawkSize {
+		t.Fatalf("full level %d not larger than tomahawk %d", last.FullLevel, last.TomahawkSize)
+	}
+}
+
+func TestRunE5Extraction(t *testing.T) {
+	cfg := smallCfg(t)
+	res, err := RunE5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputNodes > 30 {
+		t.Fatalf("budget exceeded: %d", res.OutputNodes)
+	}
+	if res.ReductionRatio < 50 {
+		t.Fatalf("reduction ratio %.0f suspiciously low", res.ReductionRatio)
+	}
+	if res.SVGPath == "" {
+		t.Fatal("artifact missing")
+	}
+}
+
+func TestRunE6Pipeline(t *testing.T) {
+	cfg := smallCfg(t)
+	res, err := RunE6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExtractedNodes > 200 {
+		t.Fatalf("extracted %d nodes, budget 200", res.ExtractedNodes)
+	}
+	if res.TopCommunities == 0 || res.TopCommunities > 3 {
+		t.Fatalf("top communities %d want 1..3", res.TopCommunities)
+	}
+	if len(res.SVGPaths) < 3 {
+		t.Fatalf("artifacts %v", res.SVGPaths)
+	}
+}
+
+func TestRunE7Metrics(t *testing.T) {
+	cfg := smallCfg(t)
+	res, err := RunE7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Nodes == 0 || res.Report.Edges == 0 {
+		t.Fatal("empty metrics report")
+	}
+	if res.Report.WeakComponents < 1 {
+		t.Fatal("no components")
+	}
+	if len(res.TopList) == 0 {
+		t.Fatal("no top-ranked authors")
+	}
+}
+
+func TestRunE9MultiSourceWins(t *testing.T) {
+	cfg := smallCfg(t)
+	res, err := RunE9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		wantRuns := r.M * (r.M - 1) / 2
+		if r.PairRuns != wantRuns {
+			t.Fatalf("m=%d pair runs %d want %d", r.M, r.PairRuns, wantRuns)
+		}
+		if r.CepsGoodness < r.PairGoodness {
+			t.Fatalf("m=%d ceps goodness %g below pairwise %g", r.M, r.CepsGoodness, r.PairGoodness)
+		}
+	}
+}
+
+func TestRunE10Paging(t *testing.T) {
+	cfg := smallCfg(t)
+	res, err := RunE10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows=%d want 3", len(res.Rows))
+	}
+	// Bigger pools must not have lower hit rates on the same walk.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].HitRate+1e-9 < res.Rows[i-1].HitRate {
+			t.Fatalf("hit rate regressed with bigger pool: %v", res.Rows)
+		}
+	}
+	// The largest pool should serve the working set mostly from memory.
+	if res.Rows[len(res.Rows)-1].HitRate < 0.5 {
+		t.Fatalf("hit rate %.2f too low with a big pool", res.Rows[len(res.Rows)-1].HitRate)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := smallCfg(t)
+	res, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutMultilevel >= res.CutRandom {
+		t.Fatalf("multilevel cut %.0f not below random %.0f", res.CutMultilevel, res.CutRandom)
+	}
+	if res.CutRefined > res.CutUnrefined {
+		t.Fatalf("refined cut %.0f worse than unrefined %.0f", res.CutRefined, res.CutUnrefined)
+	}
+	if res.RestartOverlap[0.15] != 1 {
+		t.Fatalf("self-overlap %.2f want 1", res.RestartOverlap[0.15])
+	}
+}
+
+func TestRunByIDAndUnknown(t *testing.T) {
+	cfg := smallCfg(t)
+	if err := RunByID(cfg, "E1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunByID(cfg, "E99"); err == nil {
+		t.Fatal("accepted unknown experiment id")
+	}
+	out := cfg.Out.(*bytes.Buffer).String()
+	if !strings.Contains(out, "=== E1") {
+		t.Fatal("report header missing")
+	}
+}

@@ -1,0 +1,82 @@
+package extract
+
+import "sort"
+
+// CombineMode selects how per-source RWR scores merge into the goodness
+// score of a node.
+type CombineMode int
+
+const (
+	// CombineAND scores a node by the probability that all source
+	// particles meet there: the product of the per-source RWR scores.
+	// This is the paper's "steady-meeting probability".
+	CombineAND CombineMode = iota
+	// CombineOR scores a node by the probability that at least one
+	// particle visits: 1 - Π(1 - rᵢ).
+	CombineOR
+	// CombineKSoftAND scores a node by the product of its K highest
+	// per-source scores — "at least K of the m particles meet here" — the
+	// softened multi-source semantics of the center-piece formulation.
+	CombineKSoftAND
+)
+
+func (m CombineMode) String() string {
+	switch m {
+	case CombineAND:
+		return "AND"
+	case CombineOR:
+		return "OR"
+	case CombineKSoftAND:
+		return "k-softAND"
+	default:
+		return "unknown"
+	}
+}
+
+// Goodness combines the per-source RWR vectors into one score per node.
+// k is only used by CombineKSoftAND (clamped to [1,len(rwr)]).
+func Goodness(rwr [][]float64, mode CombineMode, k int) []float64 {
+	if len(rwr) == 0 {
+		return nil
+	}
+	n := len(rwr[0])
+	out := make([]float64, n)
+	switch mode {
+	case CombineOR:
+		for v := 0; v < n; v++ {
+			p := 1.0
+			for _, r := range rwr {
+				p *= 1 - r[v]
+			}
+			out[v] = 1 - p
+		}
+	case CombineKSoftAND:
+		if k < 1 {
+			k = 1
+		}
+		if k > len(rwr) {
+			k = len(rwr)
+		}
+		scores := make([]float64, len(rwr))
+		for v := 0; v < n; v++ {
+			for i, r := range rwr {
+				scores[i] = r[v]
+			}
+			sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+			p := 1.0
+			for i := 0; i < k; i++ {
+				p *= scores[i]
+			}
+			out[v] = p
+		}
+	default: // CombineAND
+		for v := 0; v < n; v++ {
+			p := 1.0
+			for _, r := range rwr {
+				p *= r[v]
+			}
+			out[v] = p
+		}
+	}
+	return out
+}

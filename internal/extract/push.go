@@ -1,0 +1,101 @@
+package extract
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// RWRPush approximates the random-walk-with-restart vector with the
+// residual-push scheme (Berkhin's bookmark-coloring / Andersen–Chung–Lang
+// local push): mass starts as residual at the source; pushing a node moves
+// a c-fraction of its residual into the estimate and spreads the rest over
+// its neighbors. Work is local to the source's neighborhood — for
+// low-conductance queries it touches a small part of the graph instead of
+// iterating over every edge, which is what makes interactive extraction on
+// the full 315k-node DBLP snappy.
+//
+// epsilon controls accuracy: on exit every node satisfies
+// residual[u] <= epsilon * wdeg(u), giving the standard L1 guarantee
+// |approx - exact| bounded by epsilon per unit degree.
+func RWRPush(c *graph.CSR, src graph.NodeID, restart, epsilon float64) ([]float64, error) {
+	n := c.N
+	if src < 0 || int(src) >= n {
+		return nil, fmt.Errorf("extract: source %d out of range (n=%d)", src, n)
+	}
+	if restart <= 0 || restart >= 1 {
+		restart = 0.15
+	}
+	if epsilon <= 0 {
+		epsilon = 1e-7
+	}
+	p := make([]float64, n)
+	r := make([]float64, n)
+	r[src] = 1
+	wdeg := make([]float64, n)
+	for u := 0; u < n; u++ {
+		wdeg[u] = c.WeightedDegree(graph.NodeID(u))
+	}
+	// FIFO queue of nodes whose residual exceeds the push threshold.
+	inQ := make([]bool, n)
+	queue := make([]int32, 0, 64)
+	pushable := func(u int32) bool {
+		if wdeg[u] == 0 {
+			// Isolated node: all its residual becomes estimate directly.
+			return r[u] > 0
+		}
+		return r[u] > epsilon*wdeg[u]
+	}
+	enqueue := func(u int32) {
+		if !inQ[u] && pushable(u) {
+			inQ[u] = true
+			queue = append(queue, u)
+		}
+	}
+	enqueue(int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQ[u] = false
+		if !pushable(u) {
+			continue
+		}
+		ru := r[u]
+		r[u] = 0
+		if wdeg[u] == 0 {
+			// Walker at an isolated node restarts immediately; with the
+			// source isolated this fixes p[src] = 1.
+			p[u] += restart * ru
+			if int32(src) != u {
+				r[src] += (1 - restart) * ru
+				enqueue(int32(src))
+			} else {
+				// Self-residual: the remaining mass keeps returning; sum
+				// the geometric series directly to terminate.
+				p[u] += (1 - restart) * ru
+			}
+			continue
+		}
+		p[u] += restart * ru
+		spread := (1 - restart) * ru / wdeg[u]
+		nbrs, ws := c.Neighbors(graph.NodeID(u))
+		for i, v := range nbrs {
+			r[v] += spread * ws[i]
+			enqueue(int32(v))
+		}
+	}
+	return p, nil
+}
+
+// RWRMultiPush runs the push approximation independently per source.
+func RWRMultiPush(c *graph.CSR, sources []graph.NodeID, restart, epsilon float64) ([][]float64, error) {
+	out := make([][]float64, len(sources))
+	for i, s := range sources {
+		p, err := RWRPush(c, s, restart, epsilon)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package graph
+
+// CSR is a compressed-sparse-row view of a graph, the layout used by the
+// partitioner and the random-walk kernels. For undirected graphs the
+// structure stores both half-edges, exactly like the adjacency form.
+//
+// NodeW carries per-node integer weights used by the multilevel partitioner
+// (a coarse node's weight is the number of original nodes it represents).
+type CSR struct {
+	N      int
+	Xadj   []int32   // len N+1; Adjncy[Xadj[u]:Xadj[u+1]] are u's neighbors
+	Adjncy []NodeID  // concatenated neighbor lists
+	EdgeW  []float64 // parallel to Adjncy
+	NodeW  []int32   // len N; defaults to all-ones
+}
+
+// ToCSR converts g into CSR form. Adjacency order is preserved.
+func ToCSR(g *Graph) *CSR {
+	n := g.NumNodes()
+	c := &CSR{
+		N:    n,
+		Xadj: make([]int32, n+1),
+	}
+	total := 0
+	for u := 0; u < n; u++ {
+		total += len(g.Neighbors(NodeID(u)))
+	}
+	c.Adjncy = make([]NodeID, 0, total)
+	c.EdgeW = make([]float64, 0, total)
+	c.NodeW = make([]int32, n)
+	for u := 0; u < n; u++ {
+		c.NodeW[u] = 1
+		for _, e := range g.Neighbors(NodeID(u)) {
+			c.Adjncy = append(c.Adjncy, e.To)
+			c.EdgeW = append(c.EdgeW, e.Weight)
+		}
+		c.Xadj[u+1] = int32(len(c.Adjncy))
+	}
+	return c
+}
+
+// Neighbors returns the neighbor and weight slices of u.
+func (c *CSR) Neighbors(u NodeID) ([]NodeID, []float64) {
+	lo, hi := c.Xadj[u], c.Xadj[u+1]
+	return c.Adjncy[lo:hi], c.EdgeW[lo:hi]
+}
+
+// Degree returns the number of stored half-edges at u.
+func (c *CSR) Degree(u NodeID) int { return int(c.Xadj[u+1] - c.Xadj[u]) }
+
+// WeightedDegree returns the sum of edge weights at u.
+func (c *CSR) WeightedDegree(u NodeID) float64 {
+	var s float64
+	lo, hi := c.Xadj[u], c.Xadj[u+1]
+	for i := lo; i < hi; i++ {
+		s += c.EdgeW[i]
+	}
+	return s
+}
+
+// TotalNodeWeight returns the sum of node weights.
+func (c *CSR) TotalNodeWeight() int64 {
+	var s int64
+	for _, w := range c.NodeW {
+		s += int64(w)
+	}
+	return s
+}
+
+// HalfEdges returns the number of stored half-edges.
+func (c *CSR) HalfEdges() int { return len(c.Adjncy) }
+
+// ToGraph converts the CSR back into an adjacency Graph with undirected
+// semantics if undirected is true. For undirected conversion the CSR must
+// store both half-edges (as produced by ToCSR); each pair is emitted once.
+func (c *CSR) ToGraph(directed bool) *Graph {
+	g := NewWithNodes(c.N, directed)
+	for u := 0; u < c.N; u++ {
+		lo, hi := c.Xadj[u], c.Xadj[u+1]
+		for i := lo; i < hi; i++ {
+			v := c.Adjncy[i]
+			if !directed && v < NodeID(u) {
+				continue
+			}
+			g.AddEdge(NodeID(u), v, c.EdgeW[i])
+		}
+	}
+	return g
+}

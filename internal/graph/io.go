@@ -1,0 +1,254 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text edge-list format:
+//
+//	# directed|undirected
+//	# nodes <n>
+//	# label <id> <label...>     (optional, any number)
+//	<u> <v> <w>                 (one logical edge per line; w optional)
+//
+// Binary format (little endian):
+//
+//	magic "GMGR" | version u16 | flags u16 (bit0 directed, bit1 labeled)
+//	n u32 | m u32
+//	labels: per node, u16 length + bytes (only if labeled)
+//	edges: m records of u32 u, u32 v, f64 w (logical edges)
+
+// WriteEdgeList writes g in the text edge-list format.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	dir := "undirected"
+	if g.Directed() {
+		dir = "directed"
+	}
+	fmt.Fprintf(bw, "# %s\n# nodes %d\n", dir, g.NumNodes())
+	if g.Labeled() {
+		for i, l := range g.Labels() {
+			if l != "" {
+				fmt.Fprintf(bw, "# label %d %s\n", i, l)
+			}
+		}
+	}
+	var err error
+	g.Edges(func(u, v NodeID, wt float64) bool {
+		_, err = fmt.Fprintf(bw, "%d %d %g\n", u, v, wt)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the text edge-list format.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	g := New(false)
+	var labels []struct {
+		id NodeID
+		s  string
+	}
+	directedSet := false
+	line := 0
+	for sc.Scan() {
+		line++
+		t := strings.TrimSpace(sc.Text())
+		if t == "" {
+			continue
+		}
+		if strings.HasPrefix(t, "#") {
+			fields := strings.Fields(strings.TrimSpace(t[1:]))
+			if len(fields) == 0 {
+				continue
+			}
+			switch fields[0] {
+			case "directed":
+				if !directedSet {
+					g = New(true)
+					directedSet = true
+				}
+			case "undirected":
+				directedSet = true
+			case "nodes":
+				if len(fields) >= 2 {
+					n, err := strconv.Atoi(fields[1])
+					if err != nil {
+						return nil, fmt.Errorf("graph: line %d: bad node count %q", line, fields[1])
+					}
+					if n > g.NumNodes() {
+						g.AddNodes(n - g.NumNodes())
+					}
+				}
+			case "label":
+				if len(fields) >= 3 {
+					id, err := strconv.Atoi(fields[1])
+					if err != nil {
+						return nil, fmt.Errorf("graph: line %d: bad label id %q", line, fields[1])
+					}
+					labels = append(labels, struct {
+						id NodeID
+						s  string
+					}{NodeID(id), strings.Join(fields[2:], " ")})
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(t)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected 'u v [w]', got %q", line, t)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node %q", line, fields[0])
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad node %q", line, fields[1])
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q", line, fields[2])
+			}
+		}
+		maxID := u
+		if v > maxID {
+			maxID = v
+		}
+		if maxID >= g.NumNodes() {
+			g.AddNodes(maxID + 1 - g.NumNodes())
+		}
+		g.AddEdge(NodeID(u), NodeID(v), w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, l := range labels {
+		if int(l.id) >= g.NumNodes() {
+			g.AddNodes(int(l.id) + 1 - g.NumNodes())
+		}
+		g.SetLabel(l.id, l.s)
+	}
+	return g, nil
+}
+
+const (
+	binMagic   = "GMGR"
+	binVersion = 1
+)
+
+// WriteBinary writes g in the compact binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	var flags uint16
+	if g.Directed() {
+		flags |= 1
+	}
+	if g.Labeled() {
+		flags |= 2
+	}
+	hdr := []any{uint16(binVersion), flags, uint32(g.NumNodes()), uint32(g.NumEdges())}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if g.Labeled() {
+		for _, l := range g.Labels() {
+			if len(l) > 0xFFFF {
+				l = l[:0xFFFF]
+			}
+			if err := binary.Write(bw, binary.LittleEndian, uint16(len(l))); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(l); err != nil {
+				return err
+			}
+		}
+	}
+	var err error
+	g.Edges(func(u, v NodeID, wt float64) bool {
+		if err = binary.Write(bw, binary.LittleEndian, uint32(u)); err != nil {
+			return false
+		}
+		if err = binary.Write(bw, binary.LittleEndian, uint32(v)); err != nil {
+			return false
+		}
+		err = binary.Write(bw, binary.LittleEndian, wt)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the compact binary format.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var version, flags uint16
+	var n, m uint32
+	for _, p := range []any{&version, &flags, &n, &m} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if version != binVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	g := NewWithNodes(int(n), flags&1 != 0)
+	if flags&2 != 0 {
+		for i := uint32(0); i < n; i++ {
+			var ll uint16
+			if err := binary.Read(br, binary.LittleEndian, &ll); err != nil {
+				return nil, err
+			}
+			buf := make([]byte, ll)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, err
+			}
+			if ll > 0 {
+				g.SetLabel(NodeID(i), string(buf))
+			}
+		}
+	}
+	for i := uint32(0); i < m; i++ {
+		var u, v uint32
+		var w float64
+		if err := binary.Read(br, binary.LittleEndian, &u); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &w); err != nil {
+			return nil, err
+		}
+		if u >= n || v >= n {
+			return nil, fmt.Errorf("graph: edge %d-%d out of range (n=%d)", u, v, n)
+		}
+		g.AddEdge(NodeID(u), NodeID(v), w)
+	}
+	return g, nil
+}

@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() || a.Directed() != b.Directed() {
+		return false
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		if a.Label(NodeID(u)) != b.Label(NodeID(u)) {
+			return false
+		}
+	}
+	equal := true
+	a.Edges(func(u, v NodeID, w float64) bool {
+		if b.EdgeWeight(u, v) != w {
+			equal = false
+			return false
+		}
+		return true
+	})
+	return equal
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := NewWithNodes(4, false)
+	g.SetLabel(0, "Jiawei Han")
+	g.SetLabel(3, "Ke Wang")
+	g.AddEdge(0, 3, 12)
+	g.AddEdge(1, 2, 1)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, back) {
+		t.Fatalf("edge-list round trip mismatch:\n%s", buf.String())
+	}
+}
+
+func TestEdgeListDirectedHeader(t *testing.T) {
+	g := NewWithNodes(2, true)
+	g.AddEdge(0, 1, 1)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# directed") {
+		t.Fatalf("missing directed header:\n%s", buf.String())
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Directed() {
+		t.Fatal("directedness lost in round trip")
+	}
+	if back.HasEdge(1, 0) {
+		t.Fatal("reverse arc appeared")
+	}
+}
+
+func TestEdgeListIsolatedNodesPreserved(t *testing.T) {
+	g := NewWithNodes(10, false)
+	g.AddEdge(0, 1, 1)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 10 {
+		t.Fatalf("isolated nodes lost: n=%d want 10", back.NumNodes())
+	}
+}
+
+func TestEdgeListDefaultWeight(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeWeight(0, 1) != 1 {
+		t.Fatalf("default weight=%g want 1", g.EdgeWeight(0, 1))
+	}
+	if g.EdgeWeight(1, 2) != 4 {
+		t.Fatalf("explicit weight=%g want 4", g.EdgeWeight(1, 2))
+	}
+}
+
+func TestEdgeListRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"0\n", "a b\n", "0 1 x\n", "# nodes z\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestEdgeListSkipsBlanksAndComments(t *testing.T) {
+	in := "\n# a comment\n\n0 1 2\n   \n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges=%d want 1", g.NumEdges())
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := NewWithNodes(5, false)
+	g.SetLabel(1, "Philip S. Yu")
+	g.AddEdge(0, 1, 2.5)
+	g.AddEdge(1, 4, 1)
+	g.AddEdge(2, 2, 7)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, back) {
+		t.Fatal("binary round trip mismatch")
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOPE----------"))); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	g := NewWithNodes(3, false)
+	g.AddEdge(0, 1, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{3, 8, len(full) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("accepted truncation at %d bytes", cut)
+		}
+	}
+}
+
+func TestPropertyBinaryRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(30), 50)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEdgeListRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(30), 40)
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

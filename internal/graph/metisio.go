@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// METIS .graph format interop (the partitioner the paper uses is METIS;
+// this lets our partitioner consume its inputs and lets METIS consume
+// ours for cross-checks):
+//
+//	% comment lines start with %
+//	<n> <m> [fmt]          header; m = number of undirected edges
+//	<v1> [w1] <v2> [w2]... one line per node, 1-indexed neighbors,
+//	                       weights present when fmt has the 1-bit set
+//
+// Supported fmt values: "0"/"00" (unweighted), "1"/"01" (edge weights).
+// Vertex weights (fmt 10/11) are rejected explicitly.
+
+// WriteMETIS writes g (treated as undirected) in METIS .graph format with
+// edge weights (fmt 001). Weights are rounded to integers, floored at 1,
+// as the format requires integral weights.
+func WriteMETIS(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	// METIS has no self-loops: they are skipped below and excluded from
+	// the header's edge count.
+	loopFree := 0
+	g.Edges(func(u, v NodeID, wt float64) bool {
+		if u != v {
+			loopFree++
+		}
+		return true
+	})
+	fmt.Fprintf(bw, "%% gmine export\n%d %d 001\n", g.NumNodes(), loopFree)
+	for u := 0; u < g.NumNodes(); u++ {
+		first := true
+		for _, e := range g.Neighbors(NodeID(u)) {
+			if e.To == NodeID(u) {
+				continue // METIS has no self-loops
+			}
+			wt := int(e.Weight + 0.5)
+			if wt < 1 {
+				wt = 1
+			}
+			if !first {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%d %d", e.To+1, wt)
+			first = false
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadMETIS parses a METIS .graph file into an undirected Graph.
+func ReadMETIS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var header []string
+	line := 0
+	for sc.Scan() {
+		line++
+		t := strings.TrimSpace(sc.Text())
+		if t == "" || strings.HasPrefix(t, "%") {
+			continue
+		}
+		header = strings.Fields(t)
+		break
+	}
+	if header == nil {
+		return nil, fmt.Errorf("graph: metis: missing header")
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("graph: metis: bad header %v", header)
+	}
+	n, err := strconv.Atoi(header[0])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("graph: metis: bad node count %q", header[0])
+	}
+	m, err := strconv.Atoi(header[1])
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("graph: metis: bad edge count %q", header[1])
+	}
+	weighted := false
+	if len(header) >= 3 {
+		f := strings.TrimLeft(header[2], "0")
+		switch f {
+		case "":
+			// all zeros: unweighted
+		case "1":
+			weighted = true
+		default:
+			return nil, fmt.Errorf("graph: metis: unsupported fmt %q (vertex weights not supported)", header[2])
+		}
+	}
+	g := NewWithNodes(n, false)
+	u := 0
+	for sc.Scan() {
+		line++
+		t := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(t, "%") {
+			continue
+		}
+		if u >= n {
+			if t != "" {
+				return nil, fmt.Errorf("graph: metis: line %d: more adjacency lines than nodes", line)
+			}
+			continue
+		}
+		fields := strings.Fields(t)
+		step := 1
+		if weighted {
+			step = 2
+		}
+		if len(fields)%step != 0 {
+			return nil, fmt.Errorf("graph: metis: line %d: odd token count for weighted graph", line)
+		}
+		for i := 0; i < len(fields); i += step {
+			v, err := strconv.Atoi(fields[i])
+			if err != nil || v < 1 || v > n {
+				return nil, fmt.Errorf("graph: metis: line %d: bad neighbor %q", line, fields[i])
+			}
+			wt := 1.0
+			if weighted {
+				iw, err := strconv.Atoi(fields[i+1])
+				if err != nil || iw < 0 {
+					return nil, fmt.Errorf("graph: metis: line %d: bad weight %q", line, fields[i+1])
+				}
+				wt = float64(iw)
+			}
+			// Each undirected edge appears in both endpoint lines; keep
+			// the copy where u < v to add it exactly once.
+			if v-1 > u {
+				g.AddEdge(NodeID(u), NodeID(v-1), wt)
+			}
+		}
+		u++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if u != n {
+		return nil, fmt.Errorf("graph: metis: %d adjacency lines for %d nodes", u, n)
+	}
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("graph: metis: header claims %d edges, adjacency holds %d", m, g.NumEdges())
+	}
+	return g, nil
+}

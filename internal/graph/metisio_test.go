@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMETISRoundTrip(t *testing.T) {
+	g := NewWithNodes(4, false)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(3, 0, 1)
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != 4 || back.NumEdges() != 4 {
+		t.Fatalf("n=%d m=%d", back.NumNodes(), back.NumEdges())
+	}
+	if back.EdgeWeight(2, 3) != 3 {
+		t.Fatalf("weight lost: %g", back.EdgeWeight(2, 3))
+	}
+}
+
+func TestMETISReadUnweighted(t *testing.T) {
+	in := "% a comment\n3 2\n2 3\n1\n1\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.EdgeWeight(0, 1) != 1 {
+		t.Fatal("unweighted edge should default to 1")
+	}
+}
+
+func TestMETISReadWeighted(t *testing.T) {
+	in := "2 1 1\n2 7\n1 7\n"
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeWeight(0, 1) != 7 {
+		t.Fatalf("weight %g want 7", g.EdgeWeight(0, 1))
+	}
+	// Leading-zero fmt variants.
+	in = "2 1 001\n2 7\n1 7\n"
+	if _, err := ReadMETIS(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMETISRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",                    // no header
+		"x 2\n",               // bad n
+		"2 x\n",               // bad m
+		"2 1 11\n2\n1\n",      // vertex weights unsupported
+		"2 1\n3\n1\n",         // neighbor out of range
+		"2 1 1\n2\n1 1\n",     // odd token count for weighted
+		"2 5\n2\n1\n",         // edge count mismatch
+		"3 1\n2\n1\n",         // missing adjacency line
+		"1 0\n\n2 3\n",        // extra adjacency line
+		"2 1 1\n2 -1\n1 -1\n", // negative weight
+	}
+	for _, in := range cases {
+		if _, err := ReadMETIS(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted malformed input %q", in)
+		}
+	}
+}
+
+func TestMETISSelfLoopsDropped(t *testing.T) {
+	g := NewWithNodes(2, false)
+	g.AddEdge(0, 0, 5)
+	g.AddEdge(0, 1, 1)
+	var buf bytes.Buffer
+	if err := WriteMETIS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != 1 {
+		t.Fatalf("m=%d want 1 (loop dropped, header consistent)", back.NumEdges())
+	}
+	if back.HasEdge(0, 0) {
+		t.Fatal("self-loop survived METIS round trip")
+	}
+}
+
+func TestPropertyMETISRoundTripLoopFree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := NewWithNodes(n, false)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(NodeID(u), NodeID(v), float64(1+rng.Intn(9)))
+			}
+		}
+		g.Dedup()
+		var buf bytes.Buffer
+		if err := WriteMETIS(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadMETIS(&buf)
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

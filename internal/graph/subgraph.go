@@ -1,0 +1,69 @@
+package graph
+
+import "sort"
+
+// Induced returns the subgraph of g induced by nodes, together with the
+// mapping from new IDs to original IDs (the inverse of the compaction).
+// Labels are carried over. Duplicate entries in nodes are ignored; order of
+// first appearance determines the new IDs.
+func Induced(g *Graph, nodes []NodeID) (*Graph, []NodeID) {
+	old2new := make(map[NodeID]NodeID, len(nodes))
+	var new2old []NodeID
+	for _, u := range nodes {
+		if _, ok := old2new[u]; ok {
+			continue
+		}
+		old2new[u] = NodeID(len(new2old))
+		new2old = append(new2old, u)
+	}
+	sub := NewWithNodes(len(new2old), g.Directed())
+	if g.Labeled() {
+		for nu, ou := range new2old {
+			sub.SetLabel(NodeID(nu), g.Label(ou))
+		}
+	}
+	for nu, ou := range new2old {
+		for _, e := range g.Neighbors(ou) {
+			nv, ok := old2new[e.To]
+			if !ok {
+				continue
+			}
+			// Undirected adjacency stores both half-edges; keep each
+			// logical edge once (self-loops are stored once already).
+			if !g.Directed() && e.To < ou {
+				continue
+			}
+			sub.AddEdge(NodeID(nu), nv, e.Weight)
+		}
+	}
+	return sub, new2old
+}
+
+// CutEdge is a logical edge crossing a node-set boundary.
+type CutEdge struct {
+	U, V NodeID
+	W    float64
+}
+
+// CutEdges returns the logical edges of g with exactly one endpoint in set.
+// Each crossing undirected edge is reported once.
+func CutEdges(g *Graph, set map[NodeID]bool) []CutEdge {
+	var out []CutEdge
+	g.Edges(func(u, v NodeID, w float64) bool {
+		if set[u] != set[v] {
+			out = append(out, CutEdge{u, v, w})
+		}
+		return true
+	})
+	return out
+}
+
+// SortedNodeIDs returns a sorted copy of the keys of set.
+func SortedNodeIDs(set map[NodeID]bool) []NodeID {
+	out := make([]NodeID, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,70 @@
+package gtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// encoder appends little-endian primitives to a byte slice.
+type encoder struct{ b []byte }
+
+func (e *encoder) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *encoder) i32(v int32)  { e.u32(uint32(v)) }
+func (e *encoder) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// decoder reads little-endian primitives from a byte slice, latching the
+// first error.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("gtree: truncated record at offset %d", d.off)
+	}
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) i32() int32 { return int32(d.u32()) }
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) str() string {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}

@@ -1,0 +1,113 @@
+package gtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncoderDecoderRoundTrip(t *testing.T) {
+	var e encoder
+	e.u32(42)
+	e.i32(-7)
+	e.u64(1 << 40)
+	e.f64(3.14159)
+	e.str("hello G-Tree")
+	e.str("")
+
+	d := decoder{b: e.b}
+	if got := d.u32(); got != 42 {
+		t.Fatalf("u32=%d", got)
+	}
+	if got := d.i32(); got != -7 {
+		t.Fatalf("i32=%d", got)
+	}
+	if got := d.u64(); got != 1<<40 {
+		t.Fatalf("u64=%d", got)
+	}
+	if got := d.f64(); got != 3.14159 {
+		t.Fatalf("f64=%g", got)
+	}
+	if got := d.str(); got != "hello G-Tree" {
+		t.Fatalf("str=%q", got)
+	}
+	if got := d.str(); got != "" {
+		t.Fatalf("empty str=%q", got)
+	}
+	if d.err != nil {
+		t.Fatalf("unexpected error: %v", d.err)
+	}
+}
+
+func TestDecoderTruncation(t *testing.T) {
+	var e encoder
+	e.u32(1)
+	e.str("abc")
+	full := e.b
+	for cut := 0; cut < len(full); cut++ {
+		d := decoder{b: full[:cut]}
+		d.u32()
+		d.str()
+		if d.err == nil && cut < len(full) {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestDecoderErrorLatches(t *testing.T) {
+	d := decoder{b: []byte{1}}
+	_ = d.u32() // fails
+	if d.err == nil {
+		t.Fatal("no error on short read")
+	}
+	first := d.err
+	_ = d.u64()
+	_ = d.str()
+	if d.err != first {
+		t.Fatal("error did not latch")
+	}
+}
+
+func TestDecoderStringLengthOverflow(t *testing.T) {
+	var e encoder
+	e.u32(0xFFFFFFFF) // absurd string length
+	e.b = append(e.b, 'x')
+	d := decoder{b: e.b}
+	if got := d.str(); got != "" || d.err == nil {
+		t.Fatalf("oversized string accepted: %q", got)
+	}
+}
+
+func TestPropertyEncDecFloats(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true // NaN != NaN; handled below
+		}
+		var e encoder
+		e.f64(v)
+		d := decoder{b: e.b}
+		return d.f64() == v && d.err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// NaN round-trips to NaN.
+	var e encoder
+	e.f64(math.NaN())
+	d := decoder{b: e.b}
+	if !math.IsNaN(d.f64()) {
+		t.Fatal("NaN lost")
+	}
+}
+
+func TestPropertyEncDecStrings(t *testing.T) {
+	f := func(s string) bool {
+		var e encoder
+		e.str(s)
+		d := decoder{b: e.b}
+		return d.str() == s && d.err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

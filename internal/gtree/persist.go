@@ -1,0 +1,424 @@
+package gtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+)
+
+// Single-file G-Tree layout (all blobs via the storage blob layer):
+//
+//	superblock meta: "GTRE" u32 version | k | levels | numNodes |
+//	                 topologyPage | connPage | labelPage | graphNodes
+//	topology blob:   per node: parent, level, size, memberPage,
+//	                 internalCount, internalWeight, childCount, children...
+//	conn blob:       count, then (a, b, count, weight) entries
+//	label blob:      count, then (label, graphNode, leaf) sorted by label
+//	leaf blobs:      per leaf: memberCount, members (graph ids),
+//	                 labels (one per member), edgeCount,
+//	                 (localU, localV, weight) intra-community edges
+//
+// Internal tree nodes and connectivity stay resident (they are small and
+// every interaction needs them); leaf blobs and the label index are read
+// on demand through the buffer pool — the paper's "nodes are transferred
+// to main memory only when necessary".
+
+const (
+	fileMagic   = 0x47545245 // "GTRE"
+	fileVersion = 1
+)
+
+// Save writes the tree and its source graph's leaf subgraphs to a single
+// page file at path. The tree must have been produced by Build on g (it
+// needs leaf membership). pageSize 0 selects the storage default.
+func Save(t *Tree, g *graph.Graph, path string, pageSize int) error {
+	if t.leafOf == nil {
+		return fmt.Errorf("gtree: Save needs a tree with leaf membership (built in memory)")
+	}
+	p, err := storage.Create(path, pageSize)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+
+	// Leaf blobs first so topology can reference their pages.
+	memberPages := make(map[TreeID]uint32)
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		if !n.IsLeaf() {
+			continue
+		}
+		blob := encodeLeaf(g, n.Members)
+		pg, err := storage.WriteBlob(p, blob)
+		if err != nil {
+			return fmt.Errorf("gtree: writing leaf %d: %w", n.ID, err)
+		}
+		memberPages[n.ID] = uint32(pg)
+	}
+
+	var topo encoder
+	topo.u32(uint32(len(t.nodes)))
+	for i := range t.nodes {
+		n := &t.nodes[i]
+		topo.i32(int32(n.Parent))
+		topo.u32(uint32(n.Level))
+		topo.u32(uint32(n.Size))
+		topo.u32(memberPages[n.ID])
+		topo.u32(uint32(n.InternalCount))
+		topo.f64(n.InternalWeight)
+		topo.u32(uint32(len(n.Children)))
+		for _, c := range n.Children {
+			topo.i32(int32(c))
+		}
+	}
+	topoPage, err := storage.WriteBlob(p, topo.b)
+	if err != nil {
+		return fmt.Errorf("gtree: writing topology: %w", err)
+	}
+
+	var conn encoder
+	conn.u32(uint32(len(t.conn)))
+	t.ConnectedPairs(func(a, b TreeID, s ConnStat) bool {
+		conn.i32(int32(a))
+		conn.i32(int32(b))
+		conn.u32(uint32(s.Count))
+		conn.f64(s.Weight)
+		return true
+	})
+	connPage, err := storage.WriteBlob(p, conn.b)
+	if err != nil {
+		return fmt.Errorf("gtree: writing connectivity: %w", err)
+	}
+
+	labelPage, err := writeLabelIndex(p, g, t)
+	if err != nil {
+		return fmt.Errorf("gtree: writing label index: %w", err)
+	}
+
+	var meta encoder
+	meta.u32(fileMagic)
+	meta.u32(fileVersion)
+	meta.u32(uint32(t.K))
+	meta.u32(uint32(t.Levels))
+	meta.u32(uint32(len(t.nodes)))
+	meta.u32(uint32(topoPage))
+	meta.u32(uint32(connPage))
+	meta.u32(uint32(labelPage))
+	meta.u32(uint32(g.NumNodes()))
+	return p.SetMeta(meta.b)
+}
+
+// encodeLeaf serializes one leaf community: members, their labels, and the
+// intra-community edges in local coordinates.
+func encodeLeaf(g *graph.Graph, members []graph.NodeID) []byte {
+	local := make(map[graph.NodeID]int32, len(members))
+	for i, u := range members {
+		local[u] = int32(i)
+	}
+	var e encoder
+	e.u32(uint32(len(members)))
+	for _, u := range members {
+		e.i32(int32(u))
+	}
+	for _, u := range members {
+		e.str(g.Label(u))
+	}
+	type edge struct {
+		u, v int32
+		w    float64
+	}
+	var edges []edge
+	for i, u := range members {
+		for _, ne := range g.Neighbors(u) {
+			lv, ok := local[ne.To]
+			if !ok {
+				continue
+			}
+			if !g.Directed() && ne.To < u {
+				continue // undirected edges stored twice; keep one
+			}
+			edges = append(edges, edge{u: int32(i), v: lv, w: ne.Weight})
+		}
+	}
+	e.u32(uint32(len(edges)))
+	for _, ed := range edges {
+		e.i32(ed.u)
+		e.i32(ed.v)
+		e.f64(ed.w)
+	}
+	return e.b
+}
+
+// decodeLeaf rebuilds a leaf subgraph. Returns the local graph (with
+// labels) and the member mapping local->original.
+func decodeLeaf(blob []byte, directed bool) (*graph.Graph, []graph.NodeID, error) {
+	d := decoder{b: blob}
+	n := int(d.u32())
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	members := make([]graph.NodeID, n)
+	for i := 0; i < n; i++ {
+		members[i] = graph.NodeID(d.i32())
+	}
+	sub := graph.NewWithNodes(n, directed)
+	for i := 0; i < n; i++ {
+		if l := d.str(); l != "" {
+			sub.SetLabel(graph.NodeID(i), l)
+		}
+	}
+	m := int(d.u32())
+	for i := 0; i < m; i++ {
+		u := d.i32()
+		v := d.i32()
+		w := d.f64()
+		if d.err != nil {
+			return nil, nil, d.err
+		}
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			return nil, nil, fmt.Errorf("gtree: leaf edge %d-%d out of range (n=%d)", u, v, n)
+		}
+		sub.AddEdge(graph.NodeID(u), graph.NodeID(v), w)
+	}
+	return sub, members, d.err
+}
+
+// labelEntry is one label-index record.
+type labelEntry struct {
+	Label string
+	Node  graph.NodeID
+	Leaf  TreeID
+}
+
+func writeLabelIndex(p *storage.Pager, g *graph.Graph, t *Tree) (storage.PageID, error) {
+	var entries []labelEntry
+	if g.Labeled() {
+		for u, l := range g.Labels() {
+			if l == "" {
+				continue
+			}
+			entries = append(entries, labelEntry{Label: l, Node: graph.NodeID(u), Leaf: t.leafOf[u]})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Label != entries[j].Label {
+			return entries[i].Label < entries[j].Label
+		}
+		return entries[i].Node < entries[j].Node
+	})
+	var e encoder
+	e.u32(uint32(len(entries)))
+	for _, le := range entries {
+		e.str(le.Label)
+		e.i32(int32(le.Node))
+		e.i32(int32(le.Leaf))
+	}
+	return storage.WriteBlob(p, e.b)
+}
+
+// Store is a G-Tree opened from its single file. Topology and connectivity
+// are resident; leaf subgraphs and the label index load on demand through
+// the buffer pool.
+type Store struct {
+	tree       *Tree
+	pager      *storage.Pager
+	pool       *storage.BufferPool
+	labelPage  storage.PageID
+	graphNodes int
+
+	mu     sync.Mutex
+	labels []labelEntry // lazily loaded
+}
+
+// OpenFile opens a persisted G-Tree. poolPages bounds the buffer pool (0
+// selects 256 pages).
+func OpenFile(path string, poolPages int) (*Store, error) {
+	p, err := storage.Open(path, true)
+	if err != nil {
+		return nil, err
+	}
+	if poolPages <= 0 {
+		poolPages = 256
+	}
+	s := &Store{pager: p, pool: storage.NewBufferPool(p, poolPages)}
+	d := decoder{b: p.Meta()}
+	if d.u32() != fileMagic {
+		p.Close()
+		return nil, fmt.Errorf("gtree: not a G-Tree file")
+	}
+	if v := d.u32(); v != fileVersion {
+		p.Close()
+		return nil, fmt.Errorf("gtree: unsupported version %d", v)
+	}
+	k := int(d.u32())
+	levels := int(d.u32())
+	numNodes := int(d.u32())
+	topoPage := storage.PageID(d.u32())
+	connPage := storage.PageID(d.u32())
+	s.labelPage = storage.PageID(d.u32())
+	s.graphNodes = int(d.u32())
+	if d.err != nil {
+		p.Close()
+		return nil, d.err
+	}
+	t := &Tree{K: k, Levels: levels, conn: make(map[connKey]ConnStat)}
+	topo, err := storage.ReadBlobDirect(p, topoPage)
+	if err != nil {
+		p.Close()
+		return nil, fmt.Errorf("gtree: reading topology: %w", err)
+	}
+	td := decoder{b: topo}
+	if got := int(td.u32()); got != numNodes {
+		p.Close()
+		return nil, fmt.Errorf("gtree: topology holds %d nodes, meta says %d", got, numNodes)
+	}
+	t.nodes = make([]Node, numNodes)
+	for i := 0; i < numNodes; i++ {
+		n := &t.nodes[i]
+		n.ID = TreeID(i)
+		n.Parent = TreeID(td.i32())
+		n.Level = int(td.u32())
+		n.Size = int(td.u32())
+		n.MemberPage = td.u32()
+		n.InternalCount = int(td.u32())
+		n.InternalWeight = td.f64()
+		nc := int(td.u32())
+		for j := 0; j < nc; j++ {
+			n.Children = append(n.Children, TreeID(td.i32()))
+		}
+	}
+	if td.err != nil {
+		p.Close()
+		return nil, td.err
+	}
+	connBlob, err := storage.ReadBlobDirect(p, connPage)
+	if err != nil {
+		p.Close()
+		return nil, fmt.Errorf("gtree: reading connectivity: %w", err)
+	}
+	cd := decoder{b: connBlob}
+	nConn := int(cd.u32())
+	for i := 0; i < nConn; i++ {
+		a := TreeID(cd.i32())
+		b := TreeID(cd.i32())
+		cnt := int(cd.u32())
+		w := cd.f64()
+		t.conn[mkConnKey(a, b)] = ConnStat{Count: cnt, Weight: w}
+	}
+	if cd.err != nil {
+		p.Close()
+		return nil, cd.err
+	}
+	s.tree = t
+	return s, nil
+}
+
+// Tree returns the resident topology+connectivity tree. Leaf membership is
+// not loaded; use LoadLeaf.
+func (s *Store) Tree() *Tree { return s.tree }
+
+// GraphNodes returns the number of nodes of the original graph.
+func (s *Store) GraphNodes() int { return s.graphNodes }
+
+// LoadLeaf reads the subgraph of a leaf community from disk: the induced
+// intra-community graph in local coordinates (with labels) and the mapping
+// local -> original graph id.
+func (s *Store) LoadLeaf(id TreeID) (*graph.Graph, []graph.NodeID, error) {
+	if !s.tree.Valid(id) {
+		return nil, nil, fmt.Errorf("gtree: invalid community %d", id)
+	}
+	n := s.tree.Node(id)
+	if !n.IsLeaf() {
+		return nil, nil, fmt.Errorf("gtree: community %d is not a leaf", id)
+	}
+	blob, err := storage.ReadBlob(s.pool, storage.PageID(n.MemberPage))
+	if err != nil {
+		return nil, nil, fmt.Errorf("gtree: reading leaf %d: %w", id, err)
+	}
+	return decodeLeaf(blob, false)
+}
+
+// LabelHit is the result of a label query.
+type LabelHit struct {
+	Label string
+	Node  graph.NodeID
+	Leaf  TreeID
+	// Path from the root to the leaf holding the node.
+	Path []TreeID
+}
+
+// FindLabel locates nodes whose label matches exactly. The label index is
+// loaded lazily on first use.
+func (s *Store) FindLabel(label string) ([]LabelHit, error) {
+	if err := s.ensureLabels(); err != nil {
+		return nil, err
+	}
+	i := sort.Search(len(s.labels), func(i int) bool { return s.labels[i].Label >= label })
+	var hits []LabelHit
+	for ; i < len(s.labels) && s.labels[i].Label == label; i++ {
+		le := s.labels[i]
+		hits = append(hits, LabelHit{Label: le.Label, Node: le.Node, Leaf: le.Leaf, Path: s.tree.Path(le.Leaf)})
+	}
+	return hits, nil
+}
+
+// SearchLabelPrefix returns up to limit hits whose label starts with
+// prefix (limit <= 0 means no limit).
+func (s *Store) SearchLabelPrefix(prefix string, limit int) ([]LabelHit, error) {
+	if err := s.ensureLabels(); err != nil {
+		return nil, err
+	}
+	i := sort.Search(len(s.labels), func(i int) bool { return s.labels[i].Label >= prefix })
+	var hits []LabelHit
+	for ; i < len(s.labels) && strings.HasPrefix(s.labels[i].Label, prefix); i++ {
+		le := s.labels[i]
+		hits = append(hits, LabelHit{Label: le.Label, Node: le.Node, Leaf: le.Leaf, Path: s.tree.Path(le.Leaf)})
+		if limit > 0 && len(hits) >= limit {
+			break
+		}
+	}
+	return hits, nil
+}
+
+func (s *Store) ensureLabels() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.labels != nil {
+		return nil
+	}
+	blob, err := storage.ReadBlob(s.pool, s.labelPage)
+	if err != nil {
+		return fmt.Errorf("gtree: reading label index: %w", err)
+	}
+	d := decoder{b: blob}
+	n := int(d.u32())
+	entries := make([]labelEntry, 0, n)
+	for i := 0; i < n; i++ {
+		le := labelEntry{Label: d.str(), Node: graph.NodeID(d.i32()), Leaf: TreeID(d.i32())}
+		if d.err != nil {
+			return d.err
+		}
+		entries = append(entries, le)
+	}
+	if len(entries) == 0 {
+		entries = []labelEntry{} // non-nil marks "loaded"
+	}
+	s.labels = entries
+	return nil
+}
+
+// PoolStats returns buffer pool counters (experiment E10).
+func (s *Store) PoolStats() storage.Stats { return s.pool.Stats() }
+
+// FilePages returns the total number of pages in the backing file.
+func (s *Store) FilePages() uint32 { return s.pager.NumPages() }
+
+// ResetPoolStats zeroes the buffer pool counters.
+func (s *Store) ResetPoolStats() { s.pool.ResetStats() }
+
+// Close releases the underlying file.
+func (s *Store) Close() error { return s.pager.Close() }

@@ -1,0 +1,109 @@
+package gtree
+
+// Scene is the set of communities selected for display by the Tomahawk
+// principle: the focus, its children (beneath), its siblings (by the
+// side) and its ancestors (above). The selected nodes trace a tomahawk-ax
+// shape on the tree drawing, hence the paper's name.
+//
+// Optionally the children's own children are included ("deep" scenes),
+// matching Fig 3(a) where both the 5 first-level and the 25 second-level
+// communities of DBLP are visible at once.
+type Scene struct {
+	Focus TreeID
+	// Ancestors from the root down to the parent of the focus.
+	Ancestors []TreeID
+	// Siblings of the focus (same parent), in id order.
+	Siblings []TreeID
+	// Children of the focus.
+	Children []TreeID
+	// Grandchildren, only when requested; children of every child.
+	Grandchildren []TreeID
+	// Edges are the connectivity edges among displayed same-level nodes.
+	Edges []SceneEdge
+}
+
+// SceneEdge is a displayed connectivity edge.
+type SceneEdge struct {
+	A, B   TreeID
+	Count  int
+	Weight float64
+}
+
+// Nodes returns every displayed community: ancestors, focus, siblings,
+// children and grandchildren.
+func (s *Scene) Nodes() []TreeID {
+	out := make([]TreeID, 0, len(s.Ancestors)+1+len(s.Siblings)+len(s.Children)+len(s.Grandchildren))
+	out = append(out, s.Ancestors...)
+	out = append(out, s.Focus)
+	out = append(out, s.Siblings...)
+	out = append(out, s.Children...)
+	out = append(out, s.Grandchildren...)
+	return out
+}
+
+// Size returns the number of displayed communities.
+func (s *Scene) Size() int {
+	return len(s.Ancestors) + 1 + len(s.Siblings) + len(s.Children) + len(s.Grandchildren)
+}
+
+// TomahawkOptions tunes scene construction.
+type TomahawkOptions struct {
+	// Grandchildren includes the children of each child (Fig 3(a) style).
+	Grandchildren bool
+}
+
+// Tomahawk builds the display scene for a focus community. Connectivity
+// edges are emitted among the focus+siblings set, among the children,
+// and (if requested) among the grandchildren — always pairs at the same
+// level, as the paper draws them.
+func (t *Tree) Tomahawk(focus TreeID, opts TomahawkOptions) *Scene {
+	s := &Scene{Focus: focus}
+	path := t.Path(focus)
+	if len(path) > 1 {
+		s.Ancestors = path[:len(path)-1]
+	}
+	s.Siblings = t.Siblings(focus)
+	s.Children = append([]TreeID(nil), t.nodes[focus].Children...)
+	if opts.Grandchildren {
+		for _, c := range s.Children {
+			s.Grandchildren = append(s.Grandchildren, t.nodes[c].Children...)
+		}
+	}
+	level := append([]TreeID{focus}, s.Siblings...)
+	s.appendLevelEdges(t, level)
+	s.appendLevelEdges(t, s.Children)
+	s.appendLevelEdges(t, s.Grandchildren)
+	return s
+}
+
+func (s *Scene) appendLevelEdges(t *Tree, ids []TreeID) {
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if c := t.Connectivity(ids[i], ids[j]); c.Count > 0 {
+				a, b := ids[i], ids[j]
+				if a > b {
+					a, b = b, a
+				}
+				s.Edges = append(s.Edges, SceneEdge{A: a, B: b, Count: c.Count, Weight: c.Weight})
+			}
+		}
+	}
+}
+
+// FullLevelScene returns, for comparison baselines (ablation "Tomahawk
+// off"), a scene displaying every community at the focus's level plus the
+// full connectivity among them — the cluttered alternative the Tomahawk
+// principle avoids.
+func (t *Tree) FullLevelScene(focus TreeID) *Scene {
+	s := &Scene{Focus: focus}
+	level := t.nodes[focus].Level
+	ids := t.LevelNodes(level)
+	for _, id := range ids {
+		if id != focus {
+			s.Siblings = append(s.Siblings, id)
+		}
+	}
+	all := append([]TreeID{focus}, s.Siblings...)
+	s.appendLevelEdges(t, all)
+	return s
+}

@@ -1,0 +1,110 @@
+package layout
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ForceOptions tunes the Fruchterman–Reingold layout.
+type ForceOptions struct {
+	// Iterations of force simulation (default 100).
+	Iterations int
+	// Seed for the initial random placement.
+	Seed int64
+}
+
+func (o ForceOptions) withDefaults() ForceOptions {
+	if o.Iterations <= 0 {
+		o.Iterations = 100
+	}
+	return o
+}
+
+// ForceLayout positions the nodes of g inside the bounds circle with the
+// Fruchterman–Reingold algorithm: repulsion k²/d between all pairs,
+// attraction d²/k along edges, displacement capped by a cooling
+// temperature, positions clamped to the bounds. Deterministic per seed.
+func ForceLayout(g *graph.Graph, bounds Circle, opts ForceOptions) []Point {
+	opts = opts.withDefaults()
+	n := g.NumNodes()
+	pos := make([]Point, n)
+	if n == 0 {
+		return pos
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := range pos {
+		a := rng.Float64() * 2 * math.Pi
+		r := bounds.R * 0.8 * math.Sqrt(rng.Float64())
+		pos[i] = Point{X: bounds.C.X + r*math.Cos(a), Y: bounds.C.Y + r*math.Sin(a)}
+	}
+	if n == 1 {
+		pos[0] = bounds.C
+		return pos
+	}
+	area := math.Pi * bounds.R * bounds.R
+	k := math.Sqrt(area / float64(n))
+	temp := bounds.R / 4
+	cool := temp / float64(opts.Iterations+1)
+	disp := make([]Point, n)
+	for iter := 0; iter < opts.Iterations; iter++ {
+		for i := range disp {
+			disp[i] = Point{}
+		}
+		// Repulsion, all pairs (community subgraphs are a few hundred
+		// nodes, quadratic is fine and exact).
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dx := pos[i].X - pos[j].X
+				dy := pos[i].Y - pos[j].Y
+				d := math.Sqrt(dx*dx+dy*dy) + 1e-9
+				f := k * k / d
+				ux, uy := dx/d, dy/d
+				disp[i].X += ux * f
+				disp[i].Y += uy * f
+				disp[j].X -= ux * f
+				disp[j].Y -= uy * f
+			}
+		}
+		// Attraction along edges.
+		g.Edges(func(u, v graph.NodeID, w float64) bool {
+			if u == v {
+				return true
+			}
+			dx := pos[u].X - pos[v].X
+			dy := pos[u].Y - pos[v].Y
+			d := math.Sqrt(dx*dx+dy*dy) + 1e-9
+			f := d * d / k
+			ux, uy := dx/d, dy/d
+			disp[u].X -= ux * f
+			disp[u].Y -= uy * f
+			disp[v].X += ux * f
+			disp[v].Y += uy * f
+			return true
+		})
+		// Apply displacements, capped by temperature, clamped to bounds.
+		for i := 0; i < n; i++ {
+			d := math.Sqrt(disp[i].X*disp[i].X+disp[i].Y*disp[i].Y) + 1e-9
+			step := math.Min(d, temp)
+			pos[i].X += disp[i].X / d * step
+			pos[i].Y += disp[i].Y / d * step
+			clampToCircle(&pos[i], bounds)
+		}
+		temp -= cool
+		if temp < 0.01 {
+			temp = 0.01
+		}
+	}
+	return pos
+}
+
+func clampToCircle(p *Point, c Circle) {
+	dx, dy := p.X-c.C.X, p.Y-c.C.Y
+	d := math.Sqrt(dx*dx + dy*dy)
+	limit := c.R * 0.97
+	if d > limit {
+		p.X = c.C.X + dx/d*limit
+		p.Y = c.C.Y + dy/d*limit
+	}
+}

@@ -1,0 +1,46 @@
+// Package layout computes 2-D positions for GMine's drawings: nested
+// community circles for Tomahawk scenes (communities-within-communities)
+// and a Fruchterman–Reingold force-directed layout for leaf subgraphs.
+// All algorithms are deterministic given their seed.
+package layout
+
+import "math"
+
+// Point is a 2-D position.
+type Point struct{ X, Y float64 }
+
+// Circle is a disc with center C and radius R.
+type Circle struct {
+	C Point
+	R float64
+}
+
+// Contains reports whether p lies inside the circle (inclusive, with a
+// small tolerance for accumulated float error).
+func (c Circle) Contains(p Point) bool {
+	dx, dy := p.X-c.C.X, p.Y-c.C.Y
+	return math.Sqrt(dx*dx+dy*dy) <= c.R+1e-9
+}
+
+// ContainsCircle reports whether the whole disc o fits inside c.
+func (c Circle) ContainsCircle(o Circle) bool {
+	dx, dy := o.C.X-c.C.X, o.C.Y-c.C.Y
+	return math.Sqrt(dx*dx+dy*dy)+o.R <= c.R+1e-9
+}
+
+// Dist returns the Euclidean distance between two points.
+func Dist(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// RingPositions returns n points evenly spaced on a circle of the given
+// radius around center, starting at angle0 radians.
+func RingPositions(n int, center Point, radius, angle0 float64) []Point {
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		a := angle0 + 2*math.Pi*float64(i)/float64(n)
+		out[i] = Point{X: center.X + radius*math.Cos(a), Y: center.Y + radius*math.Sin(a)}
+	}
+	return out
+}

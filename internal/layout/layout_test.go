@@ -1,0 +1,210 @@
+package layout
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/gtree"
+	"repro/internal/partition"
+)
+
+func TestRingPositions(t *testing.T) {
+	c := Point{1, 2}
+	ps := RingPositions(4, c, 10, 0)
+	if len(ps) != 4 {
+		t.Fatalf("len=%d", len(ps))
+	}
+	for _, p := range ps {
+		if math.Abs(Dist(p, c)-10) > 1e-9 {
+			t.Fatalf("point %v not on ring", p)
+		}
+	}
+	// First point at angle 0: (11, 2).
+	if math.Abs(ps[0].X-11) > 1e-9 || math.Abs(ps[0].Y-2) > 1e-9 {
+		t.Fatalf("ps[0]=%v", ps[0])
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{C: Point{0, 0}, R: 5}
+	if !c.Contains(Point{3, 4}) {
+		t.Fatal("boundary point rejected")
+	}
+	if c.Contains(Point{4, 4}) {
+		t.Fatal("outside point accepted")
+	}
+	if !c.ContainsCircle(Circle{C: Point{1, 1}, R: 2}) {
+		t.Fatal("inner circle rejected")
+	}
+	if c.ContainsCircle(Circle{C: Point{4, 0}, R: 2}) {
+		t.Fatal("overflowing circle accepted")
+	}
+}
+
+func buildScene(t *testing.T) (*gtree.Tree, *gtree.Scene) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	n := 9 * 20
+	g := graph.NewWithNodes(n, false)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := 0.02
+			if u/20 == v/20 {
+				p = 0.35
+			}
+			if rng.Float64() < p {
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v), 1)
+			}
+		}
+	}
+	tr, err := gtree.Build(g, gtree.BuildOptions{K: 3, Levels: 3, Partition: partition.Options{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	focus := tr.Node(tr.Root()).Children[0]
+	return tr, tr.Tomahawk(focus, gtree.TomahawkOptions{Grandchildren: true})
+}
+
+func TestLayoutSceneAllNodesPlaced(t *testing.T) {
+	tr, sc := buildScene(t)
+	l := LayoutScene(tr, sc, 100)
+	for _, id := range sc.Nodes() {
+		if _, ok := l.Circles[id]; !ok {
+			t.Fatalf("community %d not placed", id)
+		}
+	}
+	if len(l.Circles) != sc.Size() {
+		t.Fatalf("placed %d circles for %d communities", len(l.Circles), sc.Size())
+	}
+}
+
+func TestLayoutSceneNesting(t *testing.T) {
+	tr, sc := buildScene(t)
+	l := LayoutScene(tr, sc, 100)
+	// Children lie inside the focus disc.
+	focus := l.Circles[sc.Focus]
+	for _, c := range sc.Children {
+		if !focus.ContainsCircle(l.Circles[c]) {
+			t.Fatalf("child %d escapes the focus disc", c)
+		}
+	}
+	// Grandchildren lie inside their parent child disc.
+	for _, gc := range sc.Grandchildren {
+		p := tr.Node(gc).Parent
+		if !l.Circles[p].ContainsCircle(l.Circles[gc]) {
+			t.Fatalf("grandchild %d escapes child %d", gc, p)
+		}
+	}
+	// Everything lies inside the canvas.
+	for id, c := range l.Circles {
+		if !l.Canvas.ContainsCircle(c) {
+			t.Fatalf("community %d escapes the canvas", id)
+		}
+	}
+}
+
+func TestLayoutSceneSiblingsDoNotOverlapFocus(t *testing.T) {
+	tr, sc := buildScene(t)
+	l := LayoutScene(tr, sc, 100)
+	focus := l.Circles[sc.Focus]
+	for _, s := range sc.Siblings {
+		sib := l.Circles[s]
+		if Dist(focus.C, sib.C) < focus.R+sib.R-1e-6 {
+			t.Fatalf("sibling %d overlaps the focus", s)
+		}
+	}
+}
+
+func TestLayoutSceneDeterministic(t *testing.T) {
+	tr, sc := buildScene(t)
+	a := LayoutScene(tr, sc, 100)
+	b := LayoutScene(tr, sc, 100)
+	for id, c := range a.Circles {
+		if b.Circles[id] != c {
+			t.Fatal("scene layout not deterministic")
+		}
+	}
+}
+
+func TestForceLayoutBoundsAndDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 60
+	g := graph.NewWithNodes(n, false)
+	for i := 0; i < 3*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(graph.NodeID(u), graph.NodeID(v), 1)
+		}
+	}
+	g.Dedup()
+	bounds := Circle{C: Point{0, 0}, R: 50}
+	a := ForceLayout(g, bounds, ForceOptions{Iterations: 60, Seed: 9})
+	b := ForceLayout(g, bounds, ForceOptions{Iterations: 60, Seed: 9})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("force layout not deterministic")
+		}
+		if !bounds.Contains(a[i]) {
+			t.Fatalf("node %d at %v escapes bounds", i, a[i])
+		}
+		if math.IsNaN(a[i].X) || math.IsNaN(a[i].Y) {
+			t.Fatalf("NaN position for node %d", i)
+		}
+	}
+	c := ForceLayout(g, bounds, ForceOptions{Iterations: 60, Seed: 10})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical layouts")
+	}
+}
+
+func TestForceLayoutSeparatesDisconnectedCliques(t *testing.T) {
+	// Two 5-cliques: intra-clique mean distance should be well below the
+	// inter-clique mean distance after layout.
+	g := graph.NewWithNodes(10, false)
+	for c := 0; c < 2; c++ {
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				g.AddEdge(graph.NodeID(c*5+i), graph.NodeID(c*5+j), 1)
+			}
+		}
+	}
+	pos := ForceLayout(g, Circle{R: 100}, ForceOptions{Iterations: 200, Seed: 4})
+	var intra, inter float64
+	var ni, nx int
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			d := Dist(pos[i], pos[j])
+			if i/5 == j/5 {
+				intra += d
+				ni++
+			} else {
+				inter += d
+				nx++
+			}
+		}
+	}
+	intra /= float64(ni)
+	inter /= float64(nx)
+	if intra >= inter {
+		t.Fatalf("intra %.2f not below inter %.2f", intra, inter)
+	}
+}
+
+func TestForceLayoutTrivialSizes(t *testing.T) {
+	if got := ForceLayout(graph.New(false), Circle{R: 10}, ForceOptions{}); len(got) != 0 {
+		t.Fatal("empty graph should give no positions")
+	}
+	g := graph.NewWithNodes(1, false)
+	pos := ForceLayout(g, Circle{C: Point{5, 5}, R: 10}, ForceOptions{})
+	if pos[0] != (Point{5, 5}) {
+		t.Fatalf("single node not centered: %v", pos[0])
+	}
+}

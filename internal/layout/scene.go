@@ -1,0 +1,102 @@
+package layout
+
+import (
+	"math"
+
+	"repro/internal/gtree"
+)
+
+// SceneLayout assigns a circle to every community displayed in a Tomahawk
+// scene. The drawing follows the paper's figures: ancestor communities are
+// concentric enclosing rings, the focus sits in the middle with its
+// children packed inside, and siblings surround the focus inside the
+// innermost ancestor ring.
+type SceneLayout struct {
+	// Canvas is the outer drawing circle.
+	Canvas Circle
+	// Circles maps each displayed community to its disc.
+	Circles map[gtree.TreeID]Circle
+}
+
+// LayoutScene computes positions for a scene inside a canvas of the given
+// radius centered at the origin.
+func LayoutScene(t *gtree.Tree, s *gtree.Scene, radius float64) *SceneLayout {
+	l := &SceneLayout{
+		Canvas:  Circle{C: Point{0, 0}, R: radius},
+		Circles: make(map[gtree.TreeID]Circle),
+	}
+	// Ancestors: nested rings shrinking toward the center. The innermost
+	// ancestor ring bounds the focus+siblings arrangement.
+	inner := l.Canvas
+	for _, a := range s.Ancestors {
+		l.Circles[a] = inner
+		inner = Circle{C: inner.C, R: inner.R * 0.82}
+	}
+	// Focus + siblings share the innermost ring: the focus is centered,
+	// siblings ring around it.
+	nSib := len(s.Siblings)
+	focusR := inner.R * 0.45
+	if nSib > 0 {
+		// Shrink so that siblings fit on the ring without overlap.
+		sibR := inner.R * 0.22
+		ringR := inner.R - sibR - inner.R*0.05
+		need := sibRadiusFor(nSib, ringR)
+		if need < sibR {
+			sibR = need
+		}
+		l.Circles[s.Focus] = Circle{C: inner.C, R: focusR}
+		for i, p := range RingPositions(nSib, inner.C, ringR, -math.Pi/2) {
+			l.Circles[s.Siblings[i]] = Circle{C: p, R: sibR}
+		}
+	} else {
+		l.Circles[s.Focus] = Circle{C: inner.C, R: focusR}
+	}
+	// Children inside the focus disc.
+	focus := l.Circles[s.Focus]
+	placeChildren(l, focus, s.Children)
+	// Grandchildren inside each child.
+	if len(s.Grandchildren) > 0 {
+		byParent := map[gtree.TreeID][]gtree.TreeID{}
+		for _, gc := range s.Grandchildren {
+			p := t.Node(gc).Parent
+			byParent[p] = append(byParent[p], gc)
+		}
+		for _, c := range s.Children {
+			if kids := byParent[c]; len(kids) > 0 {
+				placeChildren(l, l.Circles[c], kids)
+			}
+		}
+	}
+	return l
+}
+
+// sibRadiusFor returns the largest child radius such that n discs on a
+// ring of radius ringR do not overlap.
+func sibRadiusFor(n int, ringR float64) float64 {
+	if n <= 1 {
+		return ringR
+	}
+	halfChord := ringR * math.Sin(math.Pi/float64(n))
+	return halfChord * 0.9
+}
+
+// placeChildren arranges ids on a ring (or center for a single child)
+// inside the parent disc.
+func placeChildren(l *SceneLayout, parent Circle, ids []gtree.TreeID) {
+	n := len(ids)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		l.Circles[ids[0]] = Circle{C: parent.C, R: parent.R * 0.5}
+		return
+	}
+	childR := parent.R * 0.30
+	ringR := parent.R - childR - parent.R*0.08
+	if need := sibRadiusFor(n, ringR); need < childR {
+		childR = need
+	}
+	for i, p := range RingPositions(n, parent.C, ringR, 0) {
+		l.Circles[ids[i]] = Circle{C: p, R: childR}
+	}
+}

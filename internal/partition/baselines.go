@@ -1,0 +1,76 @@
+package partition
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// randomPartition assigns nodes to k parts round-robin over a random
+// permutation, yielding perfectly balanced but cut-oblivious parts.
+func randomPartition(n, k int, parts []int32, rng *rand.Rand) {
+	perm := rng.Perm(n)
+	for i, u := range perm {
+		parts[u] = int32(i % k)
+	}
+}
+
+// bfsPartition grows parts by breadth-first region growing: pick a random
+// unassigned seed, BFS until the part reaches n/k nodes, then start the
+// next part. The final part absorbs any remainder.
+func bfsPartition(g *graph.Graph, k int, parts []int32, rng *rand.Rand) {
+	n := g.NumNodes()
+	for i := range parts {
+		parts[i] = -1
+	}
+	targetSize := (n + k - 1) / k
+	order := rng.Perm(n)
+	oi := 0
+	nextSeed := func() graph.NodeID {
+		for oi < n {
+			u := graph.NodeID(order[oi])
+			oi++
+			if parts[u] < 0 {
+				return u
+			}
+		}
+		return -1
+	}
+	queue := make([]graph.NodeID, 0, targetSize)
+	for p := 0; p < k; p++ {
+		size := 0
+		limit := targetSize
+		if p == k-1 {
+			limit = n // last part takes everything left
+		}
+		for size < limit {
+			var u graph.NodeID
+			if len(queue) > 0 {
+				u = queue[0]
+				queue = queue[1:]
+				if parts[u] >= 0 {
+					continue
+				}
+			} else {
+				u = nextSeed()
+				if u < 0 {
+					break
+				}
+			}
+			parts[u] = int32(p)
+			size++
+			for _, e := range g.Neighbors(u) {
+				if parts[e.To] < 0 {
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		queue = queue[:0]
+	}
+	// Safety: any stragglers (disconnected leftovers) go to the last part.
+	for u := range parts {
+		if parts[u] < 0 {
+			parts[u] = int32(k - 1)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package partition
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// fmEntry is a lazily-invalidated max-heap entry for FM refinement.
+type fmEntry struct {
+	gain  float64
+	node  int32
+	stamp uint32
+}
+
+type fmHeap []fmEntry
+
+func (h fmHeap) Len() int           { return len(h) }
+func (h fmHeap) Less(i, j int) bool { return h[i].gain > h[j].gain }
+func (h fmHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *fmHeap) Push(x any)        { *h = append(*h, x.(fmEntry)) }
+func (h *fmHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *fmHeap) push(e fmEntry)    { heap.Push(h, e) }
+func (h *fmHeap) pop() fmEntry      { return heap.Pop(h).(fmEntry) }
+
+// fmRefine runs Fiduccia–Mattheyses boundary refinement passes on a
+// bisection. Each pass tentatively moves vertices in best-gain-first order
+// (each vertex at most once, balance respected), then rolls back to the
+// best prefix seen. Stops early when a pass yields no improvement.
+//
+// side is modified in place. frac is the target fraction of total node
+// weight on side 0; imbalance the allowed overweight ratio per side.
+func fmRefine(c *graph.CSR, side []int8, frac, imbalance float64, passes int, rng *rand.Rand) {
+	if passes <= 0 || c.N < 2 {
+		return
+	}
+	n := c.N
+	total := float64(c.TotalNodeWeight())
+	target0 := frac * total
+	target1 := total - target0
+	max0 := target0 * imbalance
+	max1 := target1 * imbalance
+	// ext[u]: weight to the other side; int is derivable: gain = ext-int.
+	ext := make([]float64, n)
+	intw := make([]float64, n)
+	locked := make([]bool, n)
+	stamp := make([]uint32, n)
+
+	var w0 float64
+	for u := 0; u < n; u++ {
+		if side[u] == 0 {
+			w0 += float64(c.NodeW[u])
+		}
+	}
+
+	recompute := func(u int32) {
+		var e, in float64
+		nbrs, ws := c.Neighbors(graph.NodeID(u))
+		for i, v := range nbrs {
+			if int32(v) == u {
+				continue
+			}
+			if side[v] != side[u] {
+				e += ws[i]
+			} else {
+				in += ws[i]
+			}
+		}
+		ext[u], intw[u] = e, in
+	}
+
+	for pass := 0; pass < passes; pass++ {
+		var h fmHeap
+		for u := int32(0); u < int32(n); u++ {
+			locked[u] = false
+			recompute(u)
+			if ext[u] > 0 || intw[u] == 0 { // boundary (or isolated) vertices only
+				stamp[u]++
+				h.push(fmEntry{gain: ext[u] - intw[u], node: u, stamp: stamp[u]})
+			}
+		}
+		if h.Len() == 0 {
+			return
+		}
+		type move struct {
+			node int32
+		}
+		var moves []move
+		var cum, best float64
+		bestIdx := -1
+		for h.Len() > 0 {
+			e := h.pop()
+			u := e.node
+			if locked[u] || e.stamp != stamp[u] {
+				continue
+			}
+			// Balance check for the tentative move.
+			wu := float64(c.NodeW[u])
+			if side[u] == 0 {
+				if (total-w0)+wu > max1 {
+					continue
+				}
+			} else {
+				if w0+wu > max0 {
+					continue
+				}
+			}
+			// Apply move.
+			gain := ext[u] - intw[u]
+			if side[u] == 0 {
+				side[u] = 1
+				w0 -= wu
+			} else {
+				side[u] = 0
+				w0 += wu
+			}
+			locked[u] = true
+			cum += gain
+			moves = append(moves, move{node: u})
+			if cum > best || (cum == best && bestIdx < 0) {
+				best = cum
+				bestIdx = len(moves) - 1
+			}
+			// Update neighbors.
+			nbrs, _ := c.Neighbors(graph.NodeID(u))
+			for _, v := range nbrs {
+				if int32(v) == u || locked[v] {
+					continue
+				}
+				recompute(int32(v))
+				if ext[v] > 0 || intw[v] == 0 {
+					stamp[v]++
+					h.push(fmEntry{gain: ext[v] - intw[v], node: int32(v), stamp: stamp[v]})
+				} else {
+					stamp[v]++ // invalidate any stale heap entries
+				}
+			}
+			ext[u], intw[u] = intw[u], ext[u] // sides flipped for u
+		}
+		// Roll back moves after the best prefix.
+		for i := len(moves) - 1; i > bestIdx; i-- {
+			u := moves[i].node
+			wu := float64(c.NodeW[u])
+			if side[u] == 0 {
+				side[u] = 1
+				w0 -= wu
+			} else {
+				side[u] = 0
+				w0 += wu
+			}
+		}
+		if best <= 0 {
+			return // pass produced no net improvement
+		}
+	}
+}

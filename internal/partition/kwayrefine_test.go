@@ -1,0 +1,107 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestKWayRefineNeverWorsensCut(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomCommunityGraph(rng, 4, 15+rng.Intn(15), 0.25, 0.03)
+		k := 3 + rng.Intn(3)
+		base, err := Partition(g, Options{K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		parts := append([]int32(nil), base.Parts...)
+		c := graph.ToCSR(g)
+		kwayRefine(c, parts, k, 1.10, 4)
+		if Validate(parts, k) != nil {
+			return false
+		}
+		return EdgeCut(g, parts) <= base.Cut
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKWayRefineRespectsBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomCommunityGraph(rng, 4, 25, 0.3, 0.02)
+	res, err := Partition(g, Options{K: 4, Seed: 9, KWayRefine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(res.Parts, 4); err != nil {
+		t.Fatal(err)
+	}
+	if imb := Imbalance(res.Parts, 4); imb > 1.5 {
+		t.Fatalf("imbalance %g after k-way refinement", imb)
+	}
+}
+
+func TestKWayRefineOptionImprovesOrMatches(t *testing.T) {
+	// Averaged over seeds, enabling the pass must not hurt; on planted
+	// community graphs it typically helps or leaves an already-optimal
+	// cut untouched.
+	var with, without float64
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomCommunityGraph(rng, 5, 24, 0.28, 0.03)
+		a, err := Partition(g, Options{K: 5, Seed: seed, KWayRefine: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Partition(g, Options{K: 5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		with += a.Cut
+		without += b.Cut
+	}
+	if with > without {
+		t.Fatalf("k-way refinement average cut %.0f worse than plain %.0f", with, without)
+	}
+}
+
+func TestKWayRefineFixesObviousMisassignment(t *testing.T) {
+	// Two cliques, one vertex planted on the wrong side: the pass must
+	// pull it back.
+	g := twoCliques(10, 1)
+	parts := make([]int32, 20)
+	for i := 10; i < 20; i++ {
+		parts[i] = 1
+	}
+	parts[3] = 1 // clique-0 vertex misassigned to part 1
+	before := EdgeCut(g, parts)
+	c := graph.ToCSR(g)
+	moves := kwayRefine(c, parts, 2, 1.10, 4)
+	if moves == 0 {
+		t.Fatal("no moves made")
+	}
+	if parts[3] != 0 {
+		t.Fatal("misassigned vertex not recovered")
+	}
+	after := EdgeCut(g, parts)
+	if after >= before {
+		t.Fatalf("cut %g not reduced from %g", after, before)
+	}
+}
+
+func TestKWayRefineTrivialCases(t *testing.T) {
+	g := twoCliques(4, 1)
+	c := graph.ToCSR(g)
+	parts := make([]int32, 8)
+	if moves := kwayRefine(c, parts, 1, 1.1, 3); moves != 0 {
+		t.Fatal("k=1 should be a no-op")
+	}
+	empty := graph.ToCSR(graph.New(false))
+	if moves := kwayRefine(empty, nil, 3, 1.1, 3); moves != 0 {
+		t.Fatal("empty graph should be a no-op")
+	}
+}

@@ -1,0 +1,150 @@
+package render
+
+import (
+	"encoding/xml"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/gtree"
+	"repro/internal/layout"
+	"repro/internal/partition"
+)
+
+func parseXML(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, doc)
+		}
+	}
+}
+
+func TestSVGBuilderWellFormed(t *testing.T) {
+	s := NewSVG(200, 100)
+	s.Circle(0, 0, 10, "red", "black", 1)
+	s.Line(-5, -5, 5, 5, "blue", 2, 0.5)
+	s.Text(0, 0, 12, "#000", `labels with <angle> & "quotes"`)
+	s.Comment("a comment -- with dashes")
+	doc := s.String()
+	parseXML(t, doc)
+	if !strings.Contains(doc, "viewBox=\"-100.00 -50.00 200.00 100.00\"") {
+		t.Fatalf("viewBox wrong:\n%s", doc)
+	}
+	if s.ElementCount() != 4 {
+		t.Fatalf("elements=%d want 4", s.ElementCount())
+	}
+}
+
+func TestSVGEscaping(t *testing.T) {
+	s := NewSVG(10, 10)
+	s.Text(0, 0, 10, "#000", `<script>&"`)
+	doc := s.String()
+	if strings.Contains(doc, "<script>") {
+		t.Fatal("unescaped text element")
+	}
+	parseXML(t, doc)
+}
+
+func buildScene(t *testing.T) (*gtree.Tree, *gtree.Scene) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	n := 9 * 16
+	g := graph.NewWithNodes(n, false)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := 0.03
+			if u/16 == v/16 {
+				p = 0.4
+			}
+			if rng.Float64() < p {
+				g.AddEdge(graph.NodeID(u), graph.NodeID(v), 1)
+			}
+		}
+	}
+	tr, err := gtree.Build(g, gtree.BuildOptions{K: 3, Levels: 3, Partition: partition.Options{Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := tr.Tomahawk(tr.Node(tr.Root()).Children[0], gtree.TomahawkOptions{Grandchildren: true})
+	return tr, sc
+}
+
+func TestSceneSVG(t *testing.T) {
+	tr, sc := buildScene(t)
+	l := layout.LayoutScene(tr, sc, 100)
+	doc := SceneSVG(tr, sc, l, 800)
+	parseXML(t, doc)
+	// One circle per displayed community.
+	if got := strings.Count(doc, "<circle"); got != sc.Size() {
+		t.Fatalf("%d circles for %d communities", got, sc.Size())
+	}
+	// One line per scene edge.
+	if got := strings.Count(doc, "<line"); got != len(sc.Edges) {
+		t.Fatalf("%d lines for %d edges", got, len(sc.Edges))
+	}
+	// Focus highlighted.
+	if !strings.Contains(doc, "#dc2626") {
+		t.Fatal("focus stroke missing")
+	}
+}
+
+func TestSubgraphSVG(t *testing.T) {
+	g := graph.NewWithNodes(5, false)
+	g.SetLabel(0, "Jiawei Han")
+	g.SetLabel(1, "Ke Wang")
+	g.AddEdge(0, 1, 12)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 4, 1)
+	pos := layout.ForceLayout(g, layout.Circle{R: 50}, layout.ForceOptions{Iterations: 50, Seed: 1})
+	doc := SubgraphSVG(g, pos, []graph.NodeID{0}, 600)
+	parseXML(t, doc)
+	if got := strings.Count(doc, "<circle"); got != 5 {
+		t.Fatalf("%d circles want 5", got)
+	}
+	if got := strings.Count(doc, "<line"); got != 4 {
+		t.Fatalf("%d lines want 4", got)
+	}
+	if !strings.Contains(doc, "Jiawei Han") {
+		t.Fatal("labels missing")
+	}
+	if !strings.Contains(doc, "#dc2626") {
+		t.Fatal("highlight missing")
+	}
+}
+
+func TestSubgraphSVGLargeSkipsLabels(t *testing.T) {
+	n := 100
+	g := graph.NewWithNodes(n, false)
+	for i := 0; i < n; i++ {
+		g.SetLabel(graph.NodeID(i), "x")
+		if i > 0 {
+			g.AddEdge(graph.NodeID(i-1), graph.NodeID(i), 1)
+		}
+	}
+	pos := layout.ForceLayout(g, layout.Circle{R: 50}, layout.ForceOptions{Iterations: 10, Seed: 1})
+	doc := SubgraphSVG(g, pos, nil, 600)
+	parseXML(t, doc)
+	if strings.Contains(doc, "<text") {
+		t.Fatal("labels drawn on a large subgraph")
+	}
+}
+
+func TestSubgraphSVGSelfLoopSkipped(t *testing.T) {
+	g := graph.NewWithNodes(2, false)
+	g.AddEdge(0, 0, 1)
+	g.AddEdge(0, 1, 1)
+	pos := []layout.Point{{X: 1}, {X: -1}}
+	doc := SubgraphSVG(g, pos, nil, 100)
+	parseXML(t, doc)
+	if got := strings.Count(doc, "<line"); got != 1 {
+		t.Fatalf("%d lines want 1 (self-loop skipped)", got)
+	}
+}

@@ -1,0 +1,108 @@
+package render
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/gtree"
+	"repro/internal/layout"
+)
+
+// Palette used for community levels (cycled).
+var levelFill = []string{"#dbeafe", "#dcfce7", "#fef9c3", "#fee2e2", "#ede9fe", "#cffafe"}
+
+// SceneSVG renders a Tomahawk scene with its layout to an SVG document.
+// Community discs are filled by level; connectivity edges connect disc
+// centers with width ~ log2(count+1).
+func SceneSVG(t *gtree.Tree, s *gtree.Scene, l *layout.SceneLayout, size float64) string {
+	svg := NewSVG(size, size)
+	svg.Comment(fmt.Sprintf("gmine scene focus=%d communities=%d edges=%d", s.Focus, s.Size(), len(s.Edges)))
+	// Draw enclosing discs first (ancestors outermost), then the rest by
+	// level so nesting stays visible.
+	ids := s.Nodes()
+	sort.SliceStable(ids, func(i, j int) bool { return t.Node(ids[i]).Level < t.Node(ids[j]).Level })
+	scale := size / (2 * l.Canvas.R)
+	for _, id := range ids {
+		c, ok := l.Circles[id]
+		if !ok {
+			continue
+		}
+		fill := levelFill[t.Node(id).Level%len(levelFill)]
+		stroke := "#334155"
+		width := 1.0
+		if id == s.Focus {
+			stroke = "#dc2626"
+			width = 2.5
+		}
+		svg.Circle(c.C.X*scale, c.C.Y*scale, c.R*scale, fill, stroke, width)
+	}
+	for _, e := range s.Edges {
+		ca, okA := l.Circles[e.A]
+		cb, okB := l.Circles[e.B]
+		if !okA || !okB {
+			continue
+		}
+		w := math.Log2(float64(e.Count)+1) + 0.5
+		svg.Line(ca.C.X*scale, ca.C.Y*scale, cb.C.X*scale, cb.C.Y*scale, "#64748b", w, 0.7)
+	}
+	// Community labels: id and size.
+	for _, id := range ids {
+		c, ok := l.Circles[id]
+		if !ok {
+			continue
+		}
+		n := t.Node(id)
+		svg.Text(c.C.X*scale, c.C.Y*scale-c.R*scale-2, 10, "#0f172a",
+			fmt.Sprintf("s%03d (%d)", id, n.Size))
+	}
+	return svg.String()
+}
+
+// SubgraphSVG renders a leaf subgraph (or an extracted connection
+// subgraph) with force-directed positions. highlight marks node ids (local
+// to sub) to draw emphasized; labels are drawn when the graph is labeled
+// and small enough to stay readable.
+func SubgraphSVG(sub *graph.Graph, pos []layout.Point, highlight []graph.NodeID, size float64) string {
+	svg := NewSVG(size, size)
+	svg.Comment(fmt.Sprintf("gmine subgraph n=%d m=%d", sub.NumNodes(), sub.NumEdges()))
+	var maxR float64
+	for _, p := range pos {
+		if d := math.Sqrt(p.X*p.X + p.Y*p.Y); d > maxR {
+			maxR = d
+		}
+	}
+	if maxR == 0 {
+		maxR = 1
+	}
+	scale := (size/2 - 12) / maxR
+	sub.Edges(func(u, v graph.NodeID, w float64) bool {
+		if u == v {
+			return true
+		}
+		svg.Line(pos[u].X*scale, pos[u].Y*scale, pos[v].X*scale, pos[v].Y*scale,
+			"#94a3b8", math.Min(0.5+math.Log2(w+1)/2, 3), 0.6)
+		return true
+	})
+	hl := map[graph.NodeID]bool{}
+	for _, h := range highlight {
+		hl[h] = true
+	}
+	for u := 0; u < sub.NumNodes(); u++ {
+		p := pos[u]
+		fill, r := "#3b82f6", 3.0
+		if hl[graph.NodeID(u)] {
+			fill, r = "#dc2626", 5.0
+		}
+		svg.Circle(p.X*scale, p.Y*scale, r, fill, "#1e293b", 0.5)
+	}
+	if sub.Labeled() && sub.NumNodes() <= 60 {
+		for u := 0; u < sub.NumNodes(); u++ {
+			if l := sub.Label(graph.NodeID(u)); l != "" {
+				svg.Text(pos[u].X*scale+5, pos[u].Y*scale-5, 8, "#0f172a", l)
+			}
+		}
+	}
+	return svg.String()
+}

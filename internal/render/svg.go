@@ -1,0 +1,72 @@
+// Package render turns GMine scenes and subgraph layouts into SVG
+// documents — the headless stand-in for the paper's interactive canvas.
+// Community nodes are drawn as circles, connectivity edges as lines whose
+// width grows with the logarithm of the crossing-edge count, leaf
+// subgraphs as dots and segments, with optional highlights and labels.
+package render
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG is a minimal SVG document builder (stdlib only).
+type SVG struct {
+	w, h  float64
+	elems []string
+}
+
+// NewSVG creates a drawing canvas of the given size; the viewBox is
+// centered at the origin, matching the layout package's coordinates.
+func NewSVG(w, h float64) *SVG {
+	return &SVG{w: w, h: h}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func f(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Circle adds a circle element.
+func (s *SVG) Circle(cx, cy, r float64, fill, stroke string, strokeWidth float64) {
+	s.elems = append(s.elems, fmt.Sprintf(
+		`<circle cx="%s" cy="%s" r="%s" fill="%s" stroke="%s" stroke-width="%s"/>`,
+		f(cx), f(cy), f(r), esc(fill), esc(stroke), f(strokeWidth)))
+}
+
+// Line adds a line element.
+func (s *SVG) Line(x1, y1, x2, y2 float64, stroke string, width, opacity float64) {
+	s.elems = append(s.elems, fmt.Sprintf(
+		`<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="%s" stroke-width="%s" stroke-opacity="%s"/>`,
+		f(x1), f(y1), f(x2), f(y2), esc(stroke), f(width), f(opacity)))
+}
+
+// Text adds a text element.
+func (s *SVG) Text(x, y float64, size float64, fill, text string) {
+	s.elems = append(s.elems, fmt.Sprintf(
+		`<text x="%s" y="%s" font-size="%s" fill="%s" font-family="sans-serif">%s</text>`,
+		f(x), f(y), f(size), esc(fill), esc(text)))
+}
+
+// Comment adds an XML comment (used to tag scenes for tests/tools).
+func (s *SVG) Comment(c string) {
+	s.elems = append(s.elems, "<!-- "+strings.ReplaceAll(c, "--", "- -")+" -->")
+}
+
+// ElementCount returns the number of emitted elements (comments included).
+func (s *SVG) ElementCount() int { return len(s.elems) }
+
+// String serializes the document.
+func (s *SVG) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<?xml version="1.0" encoding="UTF-8"?>`+"\n")
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%s" height="%s" viewBox="%s %s %s %s">`+"\n",
+		f(s.w), f(s.h), f(-s.w/2), f(-s.h/2), f(s.w), f(s.h))
+	for _, e := range s.elems {
+		b.WriteString("  " + e + "\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

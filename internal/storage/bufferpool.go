@@ -1,0 +1,131 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Stats counts buffer pool activity; read with BufferPool.Stats.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+type frame struct {
+	id   PageID
+	data []byte
+	pins int
+	elem *list.Element // position in LRU list; nil while pinned
+}
+
+// BufferPool caches page payloads with LRU eviction. Pages are pinned while
+// handed out and must be released; only unpinned pages are evictable.
+//
+// GMine's interactive navigation reads the same sibling communities
+// repeatedly; the pool is what makes a focus change touch the disk only for
+// pages outside the current working set (experiment E10).
+type BufferPool struct {
+	mu     sync.Mutex
+	pager  *Pager
+	cap    int
+	frames map[PageID]*frame
+	lru    *list.List // front = most recent; values are PageID
+	stats  Stats
+}
+
+// NewBufferPool wraps pager with a pool holding up to capacity pages.
+func NewBufferPool(pager *Pager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		pager:  pager,
+		cap:    capacity,
+		frames: make(map[PageID]*frame, capacity),
+		lru:    list.New(),
+	}
+}
+
+// Get returns the payload of page id, pinning it. The returned slice is the
+// pool's frame; callers must not retain it past Release and must not write
+// to it.
+func (bp *BufferPool) Get(id PageID) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if fr, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		fr.pins++
+		if fr.elem != nil {
+			bp.lru.Remove(fr.elem)
+			fr.elem = nil
+		}
+		return fr.data, nil
+	}
+	bp.stats.Misses++
+	if err := bp.evictLocked(); err != nil {
+		return nil, err
+	}
+	data, err := bp.pager.ReadPage(id)
+	if err != nil {
+		return nil, err
+	}
+	fr := &frame{id: id, data: data, pins: 1}
+	bp.frames[id] = fr
+	return fr.data, nil
+}
+
+// evictLocked makes room for one more frame if at capacity.
+func (bp *BufferPool) evictLocked() error {
+	for len(bp.frames) >= bp.cap {
+		back := bp.lru.Back()
+		if back == nil {
+			return fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", bp.cap)
+		}
+		victim := back.Value.(PageID)
+		bp.lru.Remove(back)
+		delete(bp.frames, victim)
+		bp.stats.Evictions++
+	}
+	return nil
+}
+
+// Release unpins page id. Fully unpinned pages become evictable (most
+// recently used first to be kept).
+func (bp *BufferPool) Release(id PageID) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok || fr.pins == 0 {
+		return
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		fr.elem = bp.lru.PushFront(id)
+	}
+}
+
+// Stats returns a snapshot of the pool counters.
+func (bp *BufferPool) Stats() Stats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the counters (used between experiment phases).
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = Stats{}
+}
+
+// Resident returns the number of cached pages.
+func (bp *BufferPool) Resident() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}
+
+// Capacity returns the configured frame capacity.
+func (bp *BufferPool) Capacity() int { return bp.cap }

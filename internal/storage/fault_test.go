@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Fault-injection tests: the pager must detect every corruption mode a
+// crashed or truncated write can leave behind, never returning bad data.
+
+func buildFile(t *testing.T) (string, PageID) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "f.gmine")
+	p, err := Create(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WritePage(id, []byte("precious bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetMeta([]byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, id
+}
+
+func TestFaultTruncatedToPartialPage(t *testing.T) {
+	path, _ := buildFile(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Torn write: the file ends mid-page.
+	if err := os.WriteFile(path, raw[:len(raw)-100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, true); err == nil {
+		t.Fatal("opened a file with a torn trailing page")
+	}
+}
+
+func TestFaultTruncatedToWholePage(t *testing.T) {
+	path, id := buildFile(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The data page vanished entirely but the file is page-aligned: open
+	// succeeds, the read of the missing page must fail cleanly.
+	if err := os.WriteFile(path, raw[:512], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.ReadPage(id); err == nil {
+		t.Fatal("read of truncated-away page succeeded")
+	}
+}
+
+func TestFaultBitFlipInChecksum(t *testing.T) {
+	path, id := buildFile(t)
+	raw, _ := os.ReadFile(path)
+	raw[1023] ^= 0x01 // last byte of the data page = checksum byte
+	os.WriteFile(path, raw, 0o644)
+	p, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.ReadPage(id); err == nil {
+		t.Fatal("checksum flip not detected")
+	}
+}
+
+func TestFaultVersionBump(t *testing.T) {
+	path, _ := buildFile(t)
+	raw, _ := os.ReadFile(path)
+	raw[4] = 0xFF // version field
+	os.WriteFile(path, raw, 0o644)
+	if _, err := Open(path, true); err == nil {
+		t.Fatal("opened unknown version")
+	}
+}
+
+func TestFaultZeroedSuperblock(t *testing.T) {
+	path, _ := buildFile(t)
+	raw, _ := os.ReadFile(path)
+	for i := 0; i < 32; i++ {
+		raw[i] = 0
+	}
+	os.WriteFile(path, raw, 0o644)
+	if _, err := Open(path, true); err == nil {
+		t.Fatal("opened zeroed superblock")
+	}
+}
+
+func TestFaultCorruptPageSizeField(t *testing.T) {
+	path, _ := buildFile(t)
+	raw, _ := os.ReadFile(path)
+	raw[8], raw[9], raw[10], raw[11] = 1, 0, 0, 0 // pageSize = 1
+	os.WriteFile(path, raw, 0o644)
+	if _, err := Open(path, true); err == nil {
+		t.Fatal("opened corrupt page size")
+	}
+}
+
+func TestFaultEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, true); err == nil {
+		t.Fatal("opened empty file")
+	}
+}
+
+func TestFaultBlobLengthBeyondFile(t *testing.T) {
+	// A blob whose recorded length points past the end of the file must
+	// fail the read, not return garbage.
+	path := filepath.Join(t.TempDir(), "b.gmine")
+	p, err := Create(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := WriteBlob(p, []byte("short"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	raw, _ := os.ReadFile(path)
+	// Blob length lives in the first 4 payload bytes of the blob page.
+	off := int(id) * 256
+	raw[off] = 0xFF
+	raw[off+1] = 0xFF
+	os.WriteFile(path, raw, 0o644)
+	p2, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	// The checksum now fails (we modified payload without resealing) —
+	// either way the read must error.
+	if _, err := ReadBlobDirect(p2, id); err == nil {
+		t.Fatal("oversized blob length not detected")
+	}
+}

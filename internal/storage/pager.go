@@ -1,0 +1,268 @@
+// Package storage implements GMine's single-file persistence: a fixed-size
+// page file with CRC-32C page checksums, an LRU buffer pool with pin
+// counts, and a blob layer for variable-length records spanning page runs.
+//
+// The paper stores the whole G-Tree "in a single file and the nodes are
+// transferred to main memory only when necessary"; this package is that
+// substrate. The store is write-once/read-many (the hierarchy is built in
+// one pass and then explored), so there is no free list — pages are only
+// appended.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageID identifies a page in the file. Page 0 is the superblock.
+type PageID uint32
+
+const (
+	// DefaultPageSize is used by Create when 0 is passed.
+	DefaultPageSize = 4096
+	// MinPageSize bounds how small pages may be (superblock needs room).
+	MinPageSize = 256
+
+	pagerMagic   = "GMPF"
+	pagerVersion = 1
+	// superblock layout: magic(4) version(2) reserved(2) pageSize(4)
+	// metaLen(4) meta(...)
+	superHeader = 16
+	// crcSize trails every page including the superblock.
+	crcSize = 4
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Pager provides page-granular access to a single file.
+type Pager struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	numPages uint32
+	meta     []byte
+	readOnly bool
+}
+
+// Create creates (truncating) a page file at path. pageSize 0 selects
+// DefaultPageSize.
+func Create(path string, pageSize int) (*Pager, error) {
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < MinPageSize {
+		return nil, fmt.Errorf("storage: page size %d below minimum %d", pageSize, MinPageSize)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pager{f: f, pageSize: pageSize, numPages: 1}
+	if err := p.writeSuper(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// Open opens an existing page file. If readOnly, writes are rejected.
+func Open(path string, readOnly bool) (*Pager, error) {
+	flag := os.O_RDWR
+	if readOnly {
+		flag = os.O_RDONLY
+	}
+	f, err := os.OpenFile(path, flag, 0)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, superHeader)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: reading superblock header: %w", err)
+	}
+	if string(hdr[:4]) != pagerMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != pagerVersion {
+		f.Close()
+		return nil, fmt.Errorf("storage: unsupported version %d", v)
+	}
+	pageSize := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	if pageSize < MinPageSize {
+		f.Close()
+		return nil, fmt.Errorf("storage: corrupt page size %d", pageSize)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size()%int64(pageSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: file size %d not a multiple of page size %d", st.Size(), pageSize)
+	}
+	p := &Pager{f: f, pageSize: pageSize, numPages: uint32(st.Size() / int64(pageSize)), readOnly: readOnly}
+	// Verify the superblock checksum and load the meta blob.
+	page := make([]byte, pageSize)
+	if _, err := f.ReadAt(page, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := verifyCRC(page); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: superblock: %w", err)
+	}
+	metaLen := int(binary.LittleEndian.Uint32(page[12:16]))
+	if metaLen < 0 || superHeader+metaLen > pageSize-crcSize {
+		f.Close()
+		return nil, fmt.Errorf("storage: corrupt meta length %d", metaLen)
+	}
+	p.meta = append([]byte(nil), page[superHeader:superHeader+metaLen]...)
+	return p, nil
+}
+
+func verifyCRC(page []byte) error {
+	n := len(page)
+	want := binary.LittleEndian.Uint32(page[n-crcSize:])
+	got := crc32.Checksum(page[:n-crcSize], crcTable)
+	if want != got {
+		return fmt.Errorf("checksum mismatch: stored %08x computed %08x", want, got)
+	}
+	return nil
+}
+
+func sealCRC(page []byte) {
+	n := len(page)
+	binary.LittleEndian.PutUint32(page[n-crcSize:], crc32.Checksum(page[:n-crcSize], crcTable))
+}
+
+func (p *Pager) writeSuper() error {
+	page := make([]byte, p.pageSize)
+	copy(page, pagerMagic)
+	binary.LittleEndian.PutUint16(page[4:6], pagerVersion)
+	binary.LittleEndian.PutUint32(page[8:12], uint32(p.pageSize))
+	binary.LittleEndian.PutUint32(page[12:16], uint32(len(p.meta)))
+	copy(page[superHeader:], p.meta)
+	sealCRC(page)
+	_, err := p.f.WriteAt(page, 0)
+	return err
+}
+
+// PageSize returns the page size in bytes.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// PayloadSize returns the usable bytes per page (page size minus checksum).
+func (p *Pager) PayloadSize() int { return p.pageSize - crcSize }
+
+// NumPages returns the number of pages including the superblock.
+func (p *Pager) NumPages() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.numPages
+}
+
+// Meta returns a copy of the client metadata blob stored in the superblock.
+func (p *Pager) Meta() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]byte(nil), p.meta...)
+}
+
+// SetMeta stores the client metadata blob in the superblock and flushes it.
+// The blob must fit in a single page alongside the header.
+func (p *Pager) SetMeta(meta []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.readOnly {
+		return fmt.Errorf("storage: SetMeta on read-only file")
+	}
+	if superHeader+len(meta) > p.pageSize-crcSize {
+		return fmt.Errorf("storage: meta blob %d bytes exceeds capacity %d", len(meta), p.pageSize-crcSize-superHeader)
+	}
+	p.meta = append(p.meta[:0], meta...)
+	return p.writeSuper()
+}
+
+// Allocate appends a zeroed page and returns its id.
+func (p *Pager) Allocate() (PageID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.readOnly {
+		return 0, fmt.Errorf("storage: Allocate on read-only file")
+	}
+	id := PageID(p.numPages)
+	page := make([]byte, p.pageSize)
+	sealCRC(page)
+	if _, err := p.f.WriteAt(page, int64(id)*int64(p.pageSize)); err != nil {
+		return 0, err
+	}
+	p.numPages++
+	return id, nil
+}
+
+// WritePage stores payload (at most PayloadSize bytes) into page id.
+func (p *Pager) WritePage(id PageID, payload []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.readOnly {
+		return fmt.Errorf("storage: WritePage on read-only file")
+	}
+	if id == 0 {
+		return fmt.Errorf("storage: page 0 is the superblock")
+	}
+	if id >= PageID(p.numPages) {
+		return fmt.Errorf("storage: write to unallocated page %d (have %d)", id, p.numPages)
+	}
+	if len(payload) > p.pageSize-crcSize {
+		return fmt.Errorf("storage: payload %d bytes exceeds page payload %d", len(payload), p.pageSize-crcSize)
+	}
+	page := make([]byte, p.pageSize)
+	copy(page, payload)
+	sealCRC(page)
+	_, err := p.f.WriteAt(page, int64(id)*int64(p.pageSize))
+	return err
+}
+
+// ReadPage reads page id's payload into a fresh slice of PayloadSize bytes,
+// verifying the checksum.
+func (p *Pager) ReadPage(id PageID) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id >= PageID(p.numPages) {
+		return nil, fmt.Errorf("storage: read of unallocated page %d (have %d)", id, p.numPages)
+	}
+	page := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(page, int64(id)*int64(p.pageSize)); err != nil && err != io.EOF {
+		return nil, err
+	}
+	if err := verifyCRC(page); err != nil {
+		return nil, fmt.Errorf("storage: page %d: %w", id, err)
+	}
+	return page[:p.pageSize-crcSize], nil
+}
+
+// Sync flushes the file to stable storage.
+func (p *Pager) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.f.Sync()
+}
+
+// Close syncs and closes the file.
+func (p *Pager) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.readOnly {
+		return p.f.Close()
+	}
+	if err := p.f.Sync(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
+}

@@ -1,0 +1,463 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func tmpFile(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.gmine")
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	path := tmpFile(t)
+	p, err := Create(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PageSize() != 512 {
+		t.Fatalf("page size %d want 512", p.PageSize())
+	}
+	if err := p.SetMeta([]byte("hello gmine")); err != nil {
+		t.Fatal(err)
+	}
+	id, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WritePage(id, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if string(p2.Meta()) != "hello gmine" {
+		t.Fatalf("meta %q", p2.Meta())
+	}
+	got, err := p2.ReadPage(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:7]) != "payload" {
+		t.Fatalf("payload %q", got[:7])
+	}
+	if p2.NumPages() != 2 {
+		t.Fatalf("numPages=%d want 2", p2.NumPages())
+	}
+}
+
+func TestDefaultPageSize(t *testing.T) {
+	p, err := Create(tmpFile(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.PageSize() != DefaultPageSize {
+		t.Fatalf("page size %d want %d", p.PageSize(), DefaultPageSize)
+	}
+	if p.PayloadSize() != DefaultPageSize-4 {
+		t.Fatalf("payload size %d", p.PayloadSize())
+	}
+}
+
+func TestCreateRejectsTinyPages(t *testing.T) {
+	if _, err := Create(tmpFile(t), 64); err == nil {
+		t.Fatal("accepted page size below minimum")
+	}
+}
+
+func TestOpenRejectsBadMagic(t *testing.T) {
+	path := tmpFile(t)
+	if err := os.WriteFile(path, bytes.Repeat([]byte("x"), 512), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, true); err == nil {
+		t.Fatal("accepted non-pager file")
+	}
+}
+
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	path := tmpFile(t)
+	p, err := Create(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	ro, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if _, err := ro.Allocate(); err == nil {
+		t.Fatal("Allocate succeeded on read-only pager")
+	}
+	if err := ro.SetMeta([]byte("x")); err == nil {
+		t.Fatal("SetMeta succeeded on read-only pager")
+	}
+}
+
+func TestWritePageBounds(t *testing.T) {
+	p, err := Create(tmpFile(t), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.WritePage(0, []byte("x")); err == nil {
+		t.Fatal("allowed write to superblock")
+	}
+	if err := p.WritePage(5, []byte("x")); err == nil {
+		t.Fatal("allowed write to unallocated page")
+	}
+	id, _ := p.Allocate()
+	if err := p.WritePage(id, make([]byte, 512)); err == nil {
+		t.Fatal("allowed oversized payload")
+	}
+	if _, err := p.ReadPage(99); err == nil {
+		t.Fatal("allowed read of unallocated page")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	path := tmpFile(t)
+	p, err := Create(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := p.Allocate()
+	if err := p.WritePage(id, []byte("important data")); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	// Flip a byte in the page body.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[512+3] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if _, err := p2.ReadPage(id); err == nil {
+		t.Fatal("corrupted page read succeeded")
+	}
+}
+
+func TestSuperblockCorruptionDetectedAtOpen(t *testing.T) {
+	path := tmpFile(t)
+	p, err := Create(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetMeta([]byte("meta"))
+	p.Close()
+	raw, _ := os.ReadFile(path)
+	raw[20] ^= 0xFF // inside the meta area of the superblock
+	os.WriteFile(path, raw, 0o644)
+	if _, err := Open(path, true); err == nil {
+		t.Fatal("opened file with corrupt superblock")
+	}
+}
+
+func TestMetaTooLarge(t *testing.T) {
+	p, err := Create(tmpFile(t), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.SetMeta(make([]byte, 256)); err == nil {
+		t.Fatal("accepted oversized meta")
+	}
+}
+
+func TestBufferPoolHitMissEvict(t *testing.T) {
+	p, err := Create(tmpFile(t), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, _ := p.Allocate()
+		p.WritePage(id, []byte{byte(i)})
+		ids = append(ids, id)
+	}
+	bp := NewBufferPool(p, 2)
+	// Miss, miss.
+	for _, id := range ids[:2] {
+		d, err := bp.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp.Release(id)
+		_ = d
+	}
+	// Hit.
+	if _, err := bp.Get(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	bp.Release(ids[1])
+	st := bp.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats %+v want hits=1 misses=2", st)
+	}
+	// Force eviction of ids[0] (least recently used).
+	if _, err := bp.Get(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	bp.Release(ids[2])
+	st = bp.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions=%d want 1", st.Evictions)
+	}
+	// ids[0] should now miss again.
+	if _, err := bp.Get(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	bp.Release(ids[0])
+	if got := bp.Stats().Misses; got != 4 {
+		t.Fatalf("misses=%d want 4", got)
+	}
+}
+
+func TestBufferPoolPinnedPagesNotEvicted(t *testing.T) {
+	p, err := Create(tmpFile(t), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	a, _ := p.Allocate()
+	b, _ := p.Allocate()
+	bp := NewBufferPool(p, 1)
+	if _, err := bp.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	// Pool is full with a pinned page: the next Get must fail, not evict.
+	if _, err := bp.Get(b); err == nil {
+		t.Fatal("evicted a pinned page")
+	}
+	bp.Release(a)
+	if _, err := bp.Get(b); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	bp.Release(b)
+}
+
+func TestBufferPoolDoubleReleaseHarmless(t *testing.T) {
+	p, err := Create(tmpFile(t), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	a, _ := p.Allocate()
+	bp := NewBufferPool(p, 2)
+	if _, err := bp.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	bp.Release(a)
+	bp.Release(a) // extra release must not underflow pins
+	if _, err := bp.Get(a); err != nil {
+		t.Fatal(err)
+	}
+	bp.Release(a)
+}
+
+func TestBlobRoundTripSmall(t *testing.T) {
+	p, err := Create(tmpFile(t), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	data := []byte("a small blob")
+	id, err := WriteBlob(p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := NewBufferPool(p, 4)
+	got, err := ReadBlob(bp, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q want %q", got, data)
+	}
+}
+
+func TestBlobRoundTripMultiPage(t *testing.T) {
+	p, err := Create(tmpFile(t), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 2000)
+	rng.Read(data)
+	id, err := WriteBlob(p, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BlobPages(len(data), p.PayloadSize())
+	if got := int(p.NumPages()) - 1; got != want {
+		t.Fatalf("blob used %d pages, BlobPages says %d", got, want)
+	}
+	got, err := ReadBlobDirect(p, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-page blob mismatch (direct)")
+	}
+	bp := NewBufferPool(p, 3)
+	got2, err := ReadBlob(bp, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, data) {
+		t.Fatal("multi-page blob mismatch (pooled)")
+	}
+}
+
+func TestBlobEmpty(t *testing.T) {
+	p, err := Create(tmpFile(t), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	id, err := WriteBlob(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBlobDirect(p, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty blob read back %d bytes", len(got))
+	}
+}
+
+func TestBlobPagesMath(t *testing.T) {
+	// payload 252 (pageSize 256): first page holds 248, rest 252 each.
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {248, 1}, {249, 2}, {500, 2}, {501, 3},
+	}
+	for _, c := range cases {
+		if got := BlobPages(c.n, 252); got != c.want {
+			t.Fatalf("BlobPages(%d,252)=%d want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPropertyBlobRoundTrip(t *testing.T) {
+	path := tmpFile(t)
+	p, err := Create(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	bp := NewBufferPool(p, 8)
+	f := func(data []byte) bool {
+		id, err := WriteBlob(p, data)
+		if err != nil {
+			return false
+		}
+		got, err := ReadBlob(bp, id)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlobsSurviveReopen(t *testing.T) {
+	path := tmpFile(t)
+	p, err := Create(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobs := map[PageID][]byte{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		data := make([]byte, rng.Intn(3000))
+		rng.Read(data)
+		id, err := WriteBlob(p, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs[id] = data
+	}
+	p.Close()
+	p2, err := Open(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	bp := NewBufferPool(p2, 16)
+	for id, want := range blobs {
+		got, err := ReadBlob(bp, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("blob %d mismatch after reopen", id)
+		}
+	}
+}
+
+func TestConcurrentBufferPoolReads(t *testing.T) {
+	p, err := Create(tmpFile(t), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var ids []PageID
+	for i := 0; i < 20; i++ {
+		id, _ := p.Allocate()
+		p.WritePage(id, []byte{byte(i)})
+		ids = append(ids, id)
+	}
+	bp := NewBufferPool(p, 8)
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 200; i++ {
+				id := ids[rng.Intn(len(ids))]
+				d, err := bp.Get(id)
+				if err != nil {
+					done <- err
+					return
+				}
+				if d[0] != byte(id-1) {
+					done <- os.ErrInvalid
+					return
+				}
+				bp.Release(id)
+			}
+			done <- nil
+		}(int64(w))
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
