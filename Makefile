@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench fmt
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 gate.
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+bench:
+	$(GO) test -bench . -benchmem -run xxx ./...
+
+fmt:
+	gofmt -l -w .

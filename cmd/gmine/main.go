@@ -14,6 +14,7 @@
 //	gmine metrics   -tree dblp.gtree -community 12
 //	gmine extract   -in dblp.edges -labels "Philip S. Yu,Flip Korn" -budget 30 -svg out.svg
 //	gmine repro     -exp all -scale 0.1 -dir artifacts/
+//	gmine serve     -addr :8080 -synthetic 0.05 -seed 1
 package main
 
 import (
@@ -57,6 +58,8 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "repro":
 		err = cmdRepro(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -83,6 +86,7 @@ commands:
   extract    extract a multi-source connection subgraph
   stats      whole-graph statistics (degrees, components, ANF hop plot)
   repro      run the paper's experiment suite (E1..E10, ABL)
+  serve      host engine sessions behind a concurrent HTTP/JSON API
 
 run "gmine <command> -h" for flags.
 `)

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// cmdServe runs the long-lived HTTP query/render server. Optionally one
+// session is preloaded before the listener opens, so a container can come
+// up serving (-synthetic scale, -in edge list, or -tree persisted G-Tree).
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	cache := fs.Int("cache", 256, "LRU result-cache entries")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request timeout")
+	maxBudget := fs.Int("maxbudget", 2000, "max extraction node budget per request")
+	name := fs.String("name", "default", "name of the preloaded session")
+	synthetic := fs.Float64("synthetic", 0, "preload a synthetic DBLP session at this scale (0 = none)")
+	in := fs.String("in", "", "preload a session from this edge list")
+	tree := fs.String("tree", "", "preload a disk-backed session from this G-Tree file")
+	seed := fs.Int64("seed", 1, "seed for the preloaded session")
+	k := fs.Int("k", 5, "hierarchy fanout for preloaded memory sessions")
+	levels := fs.Int("levels", 5, "hierarchy levels for preloaded memory sessions")
+	grace := fs.Duration("grace", 5*time.Second, "shutdown grace period")
+	fs.Parse(args)
+
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		CacheEntries:   *cache,
+		RequestTimeout: *timeout,
+		MaxBudget:      *maxBudget,
+	})
+
+	var preload *server.CreateSessionRequest
+	switch {
+	case *synthetic > 0:
+		preload = &server.CreateSessionRequest{
+			Name: *name, Source: "synthetic", Scale: *synthetic,
+			Seed: *seed, K: *k, Levels: *levels,
+		}
+	case *in != "":
+		preload = &server.CreateSessionRequest{
+			Name: *name, Source: "edges", Path: *in,
+			Seed: *seed, K: *k, Levels: *levels,
+		}
+	case *tree != "":
+		preload = &server.CreateSessionRequest{Name: *name, Source: "gtree", Path: *tree}
+	}
+	if preload != nil {
+		begin := time.Now()
+		info, err := srv.Preload(*preload)
+		if err != nil {
+			return fmt.Errorf("preload: %w", err)
+		}
+		fmt.Printf("preloaded session %q: %d nodes, %d communities (%s source) in %s\n",
+			info.Name, info.Nodes, info.Communities, info.Source, time.Since(begin).Round(time.Millisecond))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("gmine serve listening on %s (cache %d entries, timeout %s)\n", *addr, *cache, *timeout)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Println("\nshutting down...")
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	}
+}

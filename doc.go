@@ -33,6 +33,18 @@
 //	        gmine.ExtractOptions{Budget: 30})
 //	_ = svg; _ = hits; _ = res
 //
+// For serving many interactive users, the engine also runs behind a
+// long-lived HTTP/JSON server (`gmine serve`, or NewServer in-process):
+// named sessions live in a registry under per-session RW locks so
+// navigation and extraction reads proceed in parallel, and a bounded LRU
+// cache keyed on canonicalized query parameters answers repeated
+// interactive queries without re-running the RWR solve:
+//
+//	srv := gmine.NewServer(gmine.ServerConfig{Addr: ":8080"})
+//	srv.Preload(gmine.CreateSessionRequest{
+//	        Name: "dblp", Source: "synthetic", Scale: 0.1, Seed: 1})
+//	srv.ListenAndServe()
+//
 // The package is a thin facade over the internal implementation packages;
 // everything needed to reproduce the paper's figures is reachable from
 // here. See DESIGN.md for the system inventory and EXPERIMENTS.md for the

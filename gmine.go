@@ -10,6 +10,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/partition"
 	"repro/internal/render"
+	"repro/internal/server"
 )
 
 // --- Graph substrate ---
@@ -262,3 +263,24 @@ const (
 // NMI computes normalized mutual information between two labelings —
 // the external partition-quality measure used by the ablation suite.
 var NMI = analysis.NMI
+
+// --- Serving ---
+
+// Server hosts named engine sessions behind a concurrent HTTP/JSON API:
+// Tomahawk scenes, label queries, mining metrics and connection-subgraph
+// extraction as endpoints, with per-session RW locking and an LRU result
+// cache (see internal/server and the `gmine serve` subcommand).
+type Server = server.Server
+
+// ServerConfig tunes the HTTP server.
+type ServerConfig = server.Config
+
+// ServerSessionInfo is the wire representation of a hosted session.
+type ServerSessionInfo = server.SessionInfo
+
+// CreateSessionRequest describes a session to build or open (POST
+// /sessions body, also accepted by Server.Preload).
+type CreateSessionRequest = server.CreateSessionRequest
+
+// NewServer returns an HTTP server ready to Preload sessions and serve.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }

@@ -2,6 +2,9 @@ package gmine_test
 
 import (
 	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -120,5 +123,29 @@ func TestFacadeBaselines(t *testing.T) {
 	pos := gmine.FullDrawBaseline(ds.Graph, 2, 1)
 	if len(pos) != ds.Graph.NumNodes() {
 		t.Fatal("full draw baseline wrong size")
+	}
+}
+
+func TestFacadeServer(t *testing.T) {
+	srv := gmine.NewServer(gmine.ServerConfig{})
+	info, err := srv.Preload(gmine.CreateSessionRequest{
+		Name: "smoke", Source: "synthetic", Scale: 0.01, Seed: 7, K: 3, Levels: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "smoke" || info.Nodes == 0 || info.Communities == 0 {
+		t.Fatalf("bad preload info: %+v", info)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/sessions/smoke/scene?format=svg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "<svg") {
+		t.Fatalf("scene over http: status %d body %.80s", resp.StatusCode, body)
 	}
 }

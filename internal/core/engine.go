@@ -7,6 +7,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/extract"
@@ -154,11 +156,33 @@ func (e *Engine) Scene(opts gtree.TomahawkOptions) *gtree.Scene {
 	return e.tree.Tomahawk(e.focus, opts)
 }
 
+// SceneAt builds the Tomahawk scene for an arbitrary focus without moving
+// the engine's navigation state. Unlike FocusOn+Scene it mutates nothing,
+// so concurrent callers (e.g. the HTTP server) can share one engine under
+// a read lock.
+func (e *Engine) SceneAt(id gtree.TreeID, opts gtree.TomahawkOptions) (*gtree.Scene, error) {
+	if !e.tree.Valid(id) {
+		return nil, fmt.Errorf("core: invalid community %d", id)
+	}
+	return e.tree.Tomahawk(id, opts), nil
+}
+
 // RenderScene renders the current Tomahawk scene to SVG.
 func (e *Engine) RenderScene(size float64, opts gtree.TomahawkOptions) string {
 	s := e.Scene(opts)
 	l := layout.LayoutScene(e.tree, s, size/2)
 	return render.SceneSVG(e.tree, s, l, size)
+}
+
+// RenderSceneAt renders the Tomahawk scene of an arbitrary focus to SVG
+// without moving the engine's navigation state (read-only, see SceneAt).
+func (e *Engine) RenderSceneAt(id gtree.TreeID, size float64, opts gtree.TomahawkOptions) (string, error) {
+	s, err := e.SceneAt(id, opts)
+	if err != nil {
+		return "", err
+	}
+	l := layout.LayoutScene(e.tree, s, size/2)
+	return render.SceneSVG(e.tree, s, l, size), nil
 }
 
 // --- Leaf access ----------------------------------------------------------
@@ -229,6 +253,37 @@ func (e *Engine) FindLabel(label string) ([]LabelHit, error) {
 			leaf := e.tree.LeafOf(graph.NodeID(u))
 			hits = append(hits, LabelHit{Label: l, Node: graph.NodeID(u), Leaf: leaf, Path: e.tree.Path(leaf)})
 		}
+	}
+	return hits, nil
+}
+
+// SearchLabelPrefix returns up to limit hits whose label starts with
+// prefix, in label order. Disk-backed engines use the persisted label
+// index; memory-backed engines scan the resident labels.
+func (e *Engine) SearchLabelPrefix(prefix string, limit int) ([]LabelHit, error) {
+	if e.store != nil {
+		return e.store.SearchLabelPrefix(prefix, limit)
+	}
+	if limit <= 0 {
+		limit = 10
+	}
+	// Select the surviving nodes first; leaf lookup and path
+	// materialization only happen for the limit hits actually returned.
+	var matched []graph.NodeID
+	labels := e.g.Labels()
+	for u, l := range labels {
+		if strings.HasPrefix(l, prefix) {
+			matched = append(matched, graph.NodeID(u))
+		}
+	}
+	sort.Slice(matched, func(i, j int) bool { return labels[matched[i]] < labels[matched[j]] })
+	if len(matched) > limit {
+		matched = matched[:limit]
+	}
+	hits := make([]LabelHit, 0, len(matched))
+	for _, u := range matched {
+		leaf := e.tree.LeafOf(u)
+		hits = append(hits, LabelHit{Label: labels[u], Node: u, Leaf: leaf, Path: e.tree.Path(leaf)})
 	}
 	return hits, nil
 }

@@ -10,6 +10,10 @@ import (
 	"strings"
 )
 
+// ContentType is the MIME type of the documents this package produces;
+// HTTP handlers serving scenes use it as the Content-Type header.
+const ContentType = "image/svg+xml"
+
 // SVG is a minimal SVG document builder (stdlib only).
 type SVG struct {
 	w, h  float64

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dblp"
+)
+
+// BenchmarkServeExtract measures extraction latency through the full HTTP
+// layer: "cold" resets the result cache every iteration (each request pays
+// the RWR solve + key-path DP), "hit" serves the same canonical query from
+// the LRU. The gap is what the cache buys every repeated interactive query.
+func BenchmarkServeExtract(b *testing.B) {
+	s := New(Config{CacheEntries: 64})
+	if _, err := s.Preload(CreateSessionRequest{
+		Name: "bench", Source: "synthetic", Scale: 0.01, Seed: 7, K: 3, Levels: 3,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	body := fmt.Sprintf(`{"labels":[%q,%q],"budget":20}`, dblp.NamePhilipYu, dblp.NameFlipKorn)
+
+	do := func(b *testing.B) {
+		req := httptest.NewRequest(http.MethodPost, "/sessions/bench/extract", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.cache.reset()
+			do(b)
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		do(b) // warm the cache once
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			do(b)
+		}
+	})
+}
+
+// BenchmarkServeScene measures Tomahawk scene rendering through the HTTP
+// layer, cold versus cached.
+func BenchmarkServeScene(b *testing.B) {
+	s := New(Config{CacheEntries: 64})
+	if _, err := s.Preload(CreateSessionRequest{
+		Name: "bench", Source: "synthetic", Scale: 0.01, Seed: 7, K: 3, Levels: 3,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	do := func(b *testing.B) {
+		req := httptest.NewRequest(http.MethodGet, "/sessions/bench/scene?format=svg&grandchildren=true", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.cache.reset()
+			do(b)
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		do(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			do(b)
+		}
+	})
+}

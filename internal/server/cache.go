@@ -1,0 +1,102 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats is a snapshot of result-cache counters, exposed on /healthz
+// so interactive clients (and the acceptance tests) can observe hits.
+type CacheStats struct {
+	Capacity  int    `json:"capacity"`
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// resultCache is a bounded LRU keyed by canonicalized request parameters.
+// Repeated interactive queries (the same extraction re-run while the user
+// pans, the same scene re-fetched on window resize) skip the RWR solve and
+// layout entirely and serve the previously rendered body.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	stats CacheStats
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+	ctyp string
+}
+
+// newResultCache returns a cache bounded to capacity entries (min 1).
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached body and content type for key, recording a hit or
+// miss.
+func (c *resultCache) get(key string) ([]byte, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, "", false
+	}
+	c.stats.Hits++
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheEntry)
+	return e.body, e.ctyp, true
+}
+
+// put stores body under key, evicting the least recently used entry when
+// over capacity.
+func (c *resultCache) put(key string, body []byte, ctyp string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		el.Value.(*cacheEntry).ctyp = ctyp
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, ctyp: ctyp})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// reset drops every entry and zeroes the counters (used by benchmarks to
+// measure cold latency).
+func (c *resultCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element, c.cap)
+	c.stats = CacheStats{}
+}
+
+// snapshot returns the current counters.
+func (c *resultCache) snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Capacity = c.cap
+	s.Entries = c.ll.Len()
+	return s
+}

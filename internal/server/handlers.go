@@ -1,0 +1,870 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/dblp"
+	"repro/internal/extract"
+	"repro/internal/graph"
+	"repro/internal/gtree"
+	"repro/internal/partition"
+	"repro/internal/render"
+)
+
+const jsonContentType = "application/json; charset=utf-8"
+
+// --- Response plumbing ----------------------------------------------------
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", jsonContentType)
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// session resolves the {id} path segment, writing a 404 on failure.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	name := r.PathValue("id")
+	sess, ok := s.reg.get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session %q", name)
+		return nil, false
+	}
+	return sess, true
+}
+
+// serveCached serves key from the result cache, or runs build, caches a
+// successful body and serves it. Hit/miss is reported in the X-Gmine-Cache
+// header and aggregated on /healthz.
+func (s *Server) serveCached(w http.ResponseWriter, key string,
+	build func() (body []byte, ctyp string, errStatus int, err error)) {
+	if body, ctyp, ok := s.cache.get(key); ok {
+		w.Header().Set("X-Gmine-Cache", "hit")
+		w.Header().Set("Content-Type", ctyp)
+		_, _ = w.Write(body)
+		return
+	}
+	body, ctyp, errStatus, err := build()
+	if err != nil {
+		writeError(w, errStatus, "%s", err)
+		return
+	}
+	s.cache.put(key, body, ctyp)
+	w.Header().Set("X-Gmine-Cache", "miss")
+	w.Header().Set("Content-Type", ctyp)
+	_, _ = w.Write(body)
+}
+
+// statusOf maps session-level errors to HTTP statuses.
+func statusOf(err error, fallback int) int {
+	if err == errSessionGone {
+		return http.StatusNotFound
+	}
+	return fallback
+}
+
+func marshalJSON(v any) []byte {
+	b, _ := json.MarshalIndent(v, "", "  ")
+	return append(b, '\n')
+}
+
+// --- /healthz -------------------------------------------------------------
+
+type healthResponse struct {
+	Status        string     `json:"status"`
+	UptimeSeconds float64    `json:"uptimeSeconds"`
+	Goroutines    int        `json:"goroutines"`
+	Sessions      []string   `json:"sessions"`
+	Cache         CacheStats `json:"cache"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		Sessions:      s.reg.names(),
+		Cache:         s.cache.snapshot(),
+	})
+}
+
+// --- POST /sessions -------------------------------------------------------
+
+// CreateSessionRequest is the body of POST /sessions.
+type CreateSessionRequest struct {
+	// Name identifies the session in URLs ([A-Za-z0-9._-], max 64).
+	Name string `json:"name"`
+	// Source selects the backend: "synthetic" (DBLP generator), "edges"
+	// (edge-list file at Path) or "gtree" (persisted G-Tree at Path,
+	// disk-backed).
+	Source string `json:"source"`
+	// Path locates the input file for "edges" and "gtree" sources.
+	Path string `json:"path"`
+	// Scale sizes the synthetic DBLP graph (default 0.1).
+	Scale float64 `json:"scale"`
+	// Seed drives generation and partitioning.
+	Seed int64 `json:"seed"`
+	// K / Levels / MinCommunity / Method configure the hierarchy build
+	// (memory sources only; defaults K=5, Levels=5).
+	K            int    `json:"k"`
+	Levels       int    `json:"levels"`
+	MinCommunity int    `json:"minCommunity"`
+	Method       string `json:"method"` // "multilevel" (default), "bfs", "random"
+	// PoolPages bounds the buffer pool of "gtree" sources (0 = default).
+	PoolPages int `json:"poolPages"`
+}
+
+func validName(s string) bool {
+	if s == "" || len(s) > 64 {
+		return false
+	}
+	// "." and ".." pass the character check but are path-cleaned away by
+	// ServeMux, leaving a session that can never be addressed or deleted.
+	if s == "." || s == ".." {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func parseMethod(s string) (partition.Method, error) {
+	switch s {
+	case "", "multilevel":
+		return partition.Multilevel, nil
+	case "bfs":
+		return partition.BFSGrow, nil
+	case "random":
+		return partition.Random, nil
+	}
+	return 0, fmt.Errorf("unknown partition method %q", s)
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad session body: %s", err)
+		return
+	}
+	info, status, err := s.createSession(req)
+	if err != nil {
+		writeError(w, status, "%s", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+// Preload builds a session outside HTTP (the CLI uses it to come up warm
+// before the listener opens).
+func (s *Server) Preload(req CreateSessionRequest) (SessionInfo, error) {
+	info, _, err := s.createSession(req)
+	return info, err
+}
+
+// createSession validates req, reserves the name and builds the engine.
+// The returned status accompanies a non-nil error.
+func (s *Server) createSession(req CreateSessionRequest) (SessionInfo, int, error) {
+	if !validName(req.Name) {
+		return SessionInfo{}, http.StatusBadRequest,
+			fmt.Errorf("session name must be 1-64 chars of [A-Za-z0-9._-]")
+	}
+	method, err := parseMethod(req.Method)
+	if err != nil {
+		return SessionInfo{}, http.StatusBadRequest, err
+	}
+	switch req.Source {
+	case "synthetic", "edges", "gtree":
+	default:
+		return SessionInfo{}, http.StatusBadRequest,
+			fmt.Errorf("source must be one of synthetic, edges, gtree (got %q)", req.Source)
+	}
+	if (req.Source == "edges" || req.Source == "gtree") && req.Path == "" {
+		return SessionInfo{}, http.StatusBadRequest, fmt.Errorf("source %q needs a path", req.Source)
+	}
+
+	// Reserve first: the name is taken atomically and any reader that finds
+	// the session before the build finishes blocks on the read lock.
+	sess, err := s.reg.reserve(req.Name)
+	if err != nil {
+		return SessionInfo{}, http.StatusConflict, err
+	}
+	begin := time.Now()
+	eng, err := buildEngine(req, method)
+	if err != nil {
+		s.reg.abort(sess)
+		return SessionInfo{}, http.StatusBadRequest, fmt.Errorf("build failed: %w", err)
+	}
+	sess.source = req.Source
+	sess.diskBacked = eng.DiskBacked()
+	if g := eng.Graph(); g != nil {
+		sess.nodes, sess.edges = g.NumNodes(), g.NumEdges()
+	} else {
+		sess.nodes = eng.Store().GraphNodes()
+	}
+	sess.buildMillis = time.Since(begin).Milliseconds()
+	s.reg.commit(sess, eng)
+
+	info, err := sess.info()
+	if err != nil {
+		return SessionInfo{}, statusOf(err, http.StatusInternalServerError), err
+	}
+	return info, http.StatusCreated, nil
+}
+
+func buildEngine(req CreateSessionRequest, method partition.Method) (*core.Engine, error) {
+	cfg := core.BuildConfig{
+		K:            req.K,
+		Levels:       req.Levels,
+		MinCommunity: req.MinCommunity,
+		Method:       method,
+		Seed:         req.Seed,
+	}
+	if cfg.K <= 0 {
+		cfg.K = 5
+	}
+	if cfg.Levels <= 0 {
+		cfg.Levels = 5
+	}
+	switch req.Source {
+	case "synthetic":
+		ds := dblp.Generate(dblp.Config{Scale: req.Scale, Seed: req.Seed})
+		return core.BuildEngine(ds.Graph, cfg)
+	case "edges":
+		f, err := os.Open(req.Path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := graph.ReadEdgeList(f)
+		if err != nil {
+			return nil, err
+		}
+		g.Dedup()
+		return core.BuildEngine(g, cfg)
+	case "gtree":
+		return core.OpenEngine(req.Path, req.PoolPages)
+	}
+	return nil, fmt.Errorf("unreachable source %q", req.Source)
+}
+
+// --- GET /sessions, GET/DELETE /sessions/{id} -----------------------------
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	infos := make([]SessionInfo, 0)
+	for _, name := range s.reg.names() {
+		if sess, ok := s.reg.get(name); ok {
+			if info, err := sess.info(); err == nil {
+				infos = append(infos, info)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	info, err := sess.info()
+	if err != nil {
+		writeError(w, statusOf(err, http.StatusInternalServerError), "%s", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("id")
+	if err := s.reg.remove(name); err != nil {
+		writeError(w, http.StatusNotFound, "%s", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+// --- GET /sessions/{id}/tree ----------------------------------------------
+
+type communityJSON struct {
+	ID       gtree.TreeID `json:"id"`
+	Parent   gtree.TreeID `json:"parent"`
+	Level    int          `json:"level"`
+	Size     int          `json:"size"`
+	Children int          `json:"children"`
+	Leaf     bool         `json:"leaf"`
+}
+
+type treeResponse struct {
+	Session     string          `json:"session"`
+	Communities int             `json:"communities"`
+	Leaves      int             `json:"leaves"`
+	Levels      int             `json:"levels"`
+	PerLevel    []int           `json:"perLevel"`
+	AvgLeafSize float64         `json:"avgLeafSize"`
+	MinLeafSize int             `json:"minLeafSize"`
+	MaxLeafSize int             `json:"maxLeafSize"`
+	ConnEdges   int             `json:"connEdges"`
+	Listing     []communityJSON `json:"listing,omitempty"`
+}
+
+func (s *Server) handleTree(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	level, hasLevel := -1, false
+	if v := r.URL.Query().Get("level"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad level %q", v)
+			return
+		}
+		level, hasLevel = n, true
+	}
+	listing := r.URL.Query().Get("listing") != "false"
+	var resp treeResponse
+	err := sess.withRead(func(eng *core.Engine) error {
+		t := eng.Tree()
+		st := t.ComputeStats()
+		resp = treeResponse{
+			Session:     sess.name,
+			Communities: st.Communities,
+			Leaves:      st.Leaves,
+			Levels:      st.Levels,
+			PerLevel:    st.PerLevel,
+			AvgLeafSize: st.AvgLeafSize,
+			MinLeafSize: st.MinLeafSize,
+			MaxLeafSize: st.MaxLeafSize,
+			ConnEdges:   st.ConnEdges,
+		}
+		if listing {
+			for id := gtree.TreeID(0); int(id) < t.NumCommunities(); id++ {
+				n := t.Node(id)
+				if hasLevel && n.Level != level {
+					continue
+				}
+				resp.Listing = append(resp.Listing, communityJSON{
+					ID: id, Parent: n.Parent, Level: n.Level, Size: n.Size,
+					Children: len(n.Children), Leaf: n.IsLeaf(),
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, statusOf(err, http.StatusInternalServerError), "%s", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- GET /sessions/{id}/scene ---------------------------------------------
+
+type sceneResponse struct {
+	Session       string          `json:"session"`
+	Focus         gtree.TreeID    `json:"focus"`
+	FocusLevel    int             `json:"focusLevel"`
+	FocusSize     int             `json:"focusSize"`
+	Ancestors     []gtree.TreeID  `json:"ancestors"`
+	Siblings      []gtree.TreeID  `json:"siblings"`
+	Children      []gtree.TreeID  `json:"children"`
+	Grandchildren []gtree.TreeID  `json:"grandchildren,omitempty"`
+	Edges         []sceneEdgeJSON `json:"edges"`
+}
+
+type sceneEdgeJSON struct {
+	A      gtree.TreeID `json:"a"`
+	B      gtree.TreeID `json:"b"`
+	Count  int          `json:"count"`
+	Weight float64      `json:"weight"`
+}
+
+func (s *Server) handleScene(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	focus := 0
+	if v := q.Get("focus"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad focus %q", v)
+			return
+		}
+		focus = n
+	}
+	grand := q.Get("grandchildren") == "true"
+	format := q.Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "svg" {
+		writeError(w, http.StatusBadRequest, "format must be json or svg (got %q)", format)
+		return
+	}
+	size := 900.0
+	if v := q.Get("size"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 64 || f > 8192 {
+			writeError(w, http.StatusBadRequest, "bad size %q (want 64..8192)", v)
+			return
+		}
+		size = f
+	}
+	opts := gtree.TomahawkOptions{Grandchildren: grand}
+	keySize := size
+	if format == "json" {
+		keySize = 0 // size only shapes the SVG
+	}
+	key := sess.cacheKey(fmt.Sprintf("scene|f=%d|g=%t|fmt=%s|sz=%g", focus, grand, format, keySize))
+	s.serveCached(w, key, func() ([]byte, string, int, error) {
+		var body []byte
+		var ctyp string
+		err := sess.withRead(func(eng *core.Engine) error {
+			if format == "svg" {
+				doc, err := eng.RenderSceneAt(gtree.TreeID(focus), size, opts)
+				if err != nil {
+					return err
+				}
+				body, ctyp = []byte(doc), render.ContentType
+				return nil
+			}
+			sc, err := eng.SceneAt(gtree.TreeID(focus), opts)
+			if err != nil {
+				return err
+			}
+			n := eng.Tree().Node(sc.Focus)
+			resp := sceneResponse{
+				Session:    sess.name,
+				Focus:      sc.Focus,
+				FocusLevel: n.Level,
+				FocusSize:  n.Size,
+				Ancestors:  emptyIfNil(sc.Ancestors),
+				Siblings:   emptyIfNil(sc.Siblings),
+				Children:   emptyIfNil(sc.Children),
+			}
+			resp.Grandchildren = sc.Grandchildren
+			resp.Edges = make([]sceneEdgeJSON, 0, len(sc.Edges))
+			for _, e := range sc.Edges {
+				resp.Edges = append(resp.Edges, sceneEdgeJSON{A: e.A, B: e.B, Count: e.Count, Weight: e.Weight})
+			}
+			body, ctyp = marshalJSON(resp), jsonContentType
+			return nil
+		})
+		if err != nil {
+			return nil, "", statusOf(err, http.StatusBadRequest), err
+		}
+		return body, ctyp, 0, nil
+	})
+}
+
+func emptyIfNil(ids []gtree.TreeID) []gtree.TreeID {
+	if ids == nil {
+		return []gtree.TreeID{}
+	}
+	return ids
+}
+
+// --- POST /sessions/{id}/extract -------------------------------------------
+
+// ExtractRequest is the body of POST /sessions/{id}/extract. Sources may
+// be given as node ids or labels (at least one of the two, both allowed).
+type ExtractRequest struct {
+	Sources []graph.NodeID `json:"sources"`
+	Labels  []string       `json:"labels"`
+	// Budget caps output nodes (default 30, capped by Config.MaxBudget).
+	Budget int `json:"budget"`
+	// Restart is the RWR restart probability (default 0.15).
+	Restart float64 `json:"restart"`
+	// Mode combines per-source goodness: "and" (default), "or", "ksoft".
+	Mode string `json:"mode"`
+	// K is the soft-AND particle count for mode "ksoft".
+	K int `json:"k"`
+	// MaxPathLen caps key-path length (default 10).
+	MaxPathLen int `json:"maxPathLen"`
+	// Format selects "json" (default) or "svg".
+	Format string `json:"format"`
+	// Size is the SVG canvas (default 800); Seed drives the SVG layout.
+	Size float64 `json:"size"`
+	Seed int64   `json:"seed"`
+}
+
+type extractNodeJSON struct {
+	ID       graph.NodeID `json:"id"`
+	Label    string       `json:"label,omitempty"`
+	Goodness float64      `json:"goodness"`
+	Source   bool         `json:"source,omitempty"`
+}
+
+type extractEdgeJSON struct {
+	A      graph.NodeID `json:"a"`
+	B      graph.NodeID `json:"b"`
+	Weight float64      `json:"weight"`
+}
+
+type extractResponse struct {
+	Session       string            `json:"session"`
+	Sources       []graph.NodeID    `json:"sources"`
+	NodeCount     int               `json:"nodeCount"`
+	EdgeCount     int               `json:"edgeCount"`
+	TotalGoodness float64           `json:"totalGoodness"`
+	Iterations    int               `json:"iterations"`
+	Nodes         []extractNodeJSON `json:"nodes"`
+	Edges         []extractEdgeJSON `json:"edges"`
+}
+
+func parseCombineMode(s string) (extract.CombineMode, error) {
+	switch s {
+	case "", "and":
+		return extract.CombineAND, nil
+	case "or":
+		return extract.CombineOR, nil
+	case "ksoft", "ksoftand":
+		return extract.CombineKSoftAND, nil
+	}
+	return 0, fmt.Errorf("unknown combine mode %q", s)
+}
+
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req ExtractRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad extract body: %s", err)
+		return
+	}
+	if len(req.Sources) == 0 && len(req.Labels) == 0 {
+		writeError(w, http.StatusBadRequest, "need sources or labels")
+		return
+	}
+	mode, err := parseCombineMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%s", err)
+		return
+	}
+	if req.Budget > s.cfg.MaxBudget {
+		writeError(w, http.StatusBadRequest, "budget %d exceeds server cap %d", req.Budget, s.cfg.MaxBudget)
+		return
+	}
+	format := req.Format
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "svg" {
+		writeError(w, http.StatusBadRequest, "format must be json or svg (got %q)", format)
+		return
+	}
+	size := req.Size
+	if size <= 0 {
+		size = 800
+	}
+
+	// Resolve labels to ids under the read lock, then canonicalize the
+	// source set (sorted, deduped) so query order does not defeat caching.
+	sources := append([]graph.NodeID(nil), req.Sources...)
+	err = sess.withRead(func(eng *core.Engine) error {
+		g := eng.Graph()
+		if g == nil {
+			return fmt.Errorf("session %q is disk-backed; extraction needs a memory-backed session", sess.name)
+		}
+		for _, l := range req.Labels {
+			id := g.FindLabel(l)
+			if id < 0 {
+				return fmt.Errorf("label %q not found", l)
+			}
+			sources = append(sources, id)
+		}
+		return nil
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		if err == errSessionGone {
+			status = http.StatusNotFound
+		} else if sess.diskBacked {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%s", err)
+		return
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+	dedup := sources[:0]
+	for i, id := range sources {
+		if i == 0 || id != sources[i-1] {
+			dedup = append(dedup, id)
+		}
+	}
+	sources = dedup
+
+	opts := extract.Options{
+		Budget:     req.Budget,
+		RWR:        extract.RWROptions{Restart: req.Restart},
+		Mode:       mode,
+		K:          req.K,
+		MaxPathLen: req.MaxPathLen,
+	}
+	// Canonicalize before building the key, mirroring the extract package's
+	// defaulting, so "budget omitted" and "budget 30" share a cache entry.
+	if opts.Budget <= 0 {
+		opts.Budget = 30
+	}
+	if opts.RWR.Restart <= 0 || opts.RWR.Restart >= 1 {
+		opts.RWR.Restart = 0.15
+	}
+	if opts.MaxPathLen <= 0 {
+		opts.MaxPathLen = 10
+	}
+	if opts.Mode != extract.CombineKSoftAND {
+		opts.K = 0
+	}
+	// Size and layout seed only shape the SVG rendering; keep them out of
+	// JSON keys so render-only parameters never duplicate JSON entries.
+	keySize, keySeed := size, req.Seed
+	if format == "json" {
+		keySize, keySeed = 0, 0
+	}
+	key := sess.cacheKey(fmt.Sprintf("extract|src=%v|b=%d|c=%g|m=%d|k=%d|pl=%d|fmt=%s|sz=%g|seed=%d",
+		sources, opts.Budget, opts.RWR.Restart, opts.Mode, opts.K, opts.MaxPathLen, format, keySize, keySeed))
+	s.serveCached(w, key, func() ([]byte, string, int, error) {
+		var body []byte
+		var ctyp string
+		err := sess.withRead(func(eng *core.Engine) error {
+			res, err := eng.Extract(sources, opts)
+			if err != nil {
+				return err
+			}
+			if format == "svg" {
+				body, ctyp = []byte(core.RenderExtraction(res, size, req.Seed)), render.ContentType
+				return nil
+			}
+			body, ctyp = marshalJSON(extractToJSON(sess.name, res)), jsonContentType
+			return nil
+		})
+		if err != nil {
+			return nil, "", statusOf(err, http.StatusBadRequest), err
+		}
+		return body, ctyp, 0, nil
+	})
+}
+
+// extractToJSON maps an extraction result back to original-graph ids.
+func extractToJSON(session string, res *extract.Result) extractResponse {
+	resp := extractResponse{
+		Session:       session,
+		NodeCount:     res.Subgraph.NumNodes(),
+		EdgeCount:     res.Subgraph.NumEdges(),
+		TotalGoodness: res.TotalGoodness,
+		Iterations:    res.Iterations,
+		Sources:       make([]graph.NodeID, 0, len(res.Sources)),
+		Nodes:         make([]extractNodeJSON, 0, len(res.Nodes)),
+		Edges:         make([]extractEdgeJSON, 0, res.Subgraph.NumEdges()),
+	}
+	isSource := map[graph.NodeID]bool{}
+	for _, l := range res.Sources {
+		isSource[l] = true
+		resp.Sources = append(resp.Sources, res.Nodes[l])
+	}
+	for local, orig := range res.Nodes {
+		resp.Nodes = append(resp.Nodes, extractNodeJSON{
+			ID:       orig,
+			Label:    res.Subgraph.Label(graph.NodeID(local)),
+			Goodness: res.Goodness[local],
+			Source:   isSource[graph.NodeID(local)],
+		})
+	}
+	res.Subgraph.Edges(func(u, v graph.NodeID, wt float64) bool {
+		resp.Edges = append(resp.Edges, extractEdgeJSON{A: res.Nodes[u], B: res.Nodes[v], Weight: wt})
+		return true
+	})
+	return resp
+}
+
+// --- GET /sessions/{id}/analysis -------------------------------------------
+
+type analysisResponse struct {
+	Session           string       `json:"session"`
+	Community         gtree.TreeID `json:"community"`
+	Nodes             int          `json:"nodes"`
+	Edges             int          `json:"edges"`
+	DegreeMin         int          `json:"degreeMin"`
+	DegreeMax         int          `json:"degreeMax"`
+	DegreeMean        float64      `json:"degreeMean"`
+	PowerLawExponent  float64      `json:"powerLawExponent"`
+	WeakComponents    int          `json:"weakComponents"`
+	StrongComponents  int          `json:"strongComponents"`
+	EffectiveDiameter int          `json:"effectiveDiameter"`
+	MaxHops           int          `json:"maxHops"`
+	TopRanked         []rankedJSON `json:"topRanked"`
+}
+
+type rankedJSON struct {
+	Node     graph.NodeID `json:"node"`
+	Label    string       `json:"label,omitempty"`
+	PageRank float64      `json:"pageRank"`
+}
+
+func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	community := -1
+	if v := q.Get("community"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad community %q", v)
+			return
+		}
+		community = n
+	}
+	var seed int64 = 1
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad seed %q", v)
+			return
+		}
+		seed = n
+	}
+	key := sess.cacheKey(fmt.Sprintf("analysis|c=%d|seed=%d", community, seed))
+	s.serveCached(w, key, func() ([]byte, string, int, error) {
+		var body []byte
+		err := sess.withRead(func(eng *core.Engine) error {
+			t := eng.Tree()
+			id := gtree.TreeID(community)
+			if community < 0 {
+				// Default to the largest leaf, as the CLI does.
+				best := -1
+				for _, l := range t.Leaves() {
+					if t.Node(l).Size > best {
+						best, id = t.Node(l).Size, l
+					}
+				}
+			}
+			sub, members, err := eng.LeafSubgraph(id)
+			if err != nil {
+				return err
+			}
+			rep := analysis.Report(sub, 0, seed)
+			resp := analysisResponse{
+				Session:           sess.name,
+				Community:         id,
+				Nodes:             rep.Nodes,
+				Edges:             rep.Edges,
+				DegreeMin:         rep.Degree.Min,
+				DegreeMax:         rep.Degree.Max,
+				DegreeMean:        rep.Degree.Mean,
+				PowerLawExponent:  sanitizeFloat(rep.Degree.PowerLawExponent),
+				WeakComponents:    rep.WeakComponents,
+				StrongComponents:  rep.StrongComponents,
+				EffectiveDiameter: rep.EffectiveDiameter,
+				MaxHops:           rep.MaxHops,
+				TopRanked:         make([]rankedJSON, 0, len(rep.TopRanked)),
+			}
+			for _, u := range rep.TopRanked {
+				resp.TopRanked = append(resp.TopRanked, rankedJSON{
+					Node:     members[u],
+					Label:    sub.Label(u),
+					PageRank: rep.PageRank[u],
+				})
+			}
+			body = marshalJSON(resp)
+			return nil
+		})
+		if err != nil {
+			return nil, "", statusOf(err, http.StatusBadRequest), err
+		}
+		return body, jsonContentType, 0, nil
+	})
+}
+
+// sanitizeFloat maps NaN/Inf (degenerate power-law fits) to 0 so the
+// response stays valid JSON.
+func sanitizeFloat(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// --- GET /sessions/{id}/labels ---------------------------------------------
+
+type labelHitJSON struct {
+	Label string         `json:"label"`
+	Node  graph.NodeID   `json:"node"`
+	Leaf  gtree.TreeID   `json:"leaf"`
+	Path  []gtree.TreeID `json:"path"`
+}
+
+func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	exact, prefix := q.Get("q"), q.Get("prefix")
+	if exact == "" && prefix == "" {
+		writeError(w, http.StatusBadRequest, "need q (exact) or prefix")
+		return
+	}
+	limit := 10
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 1000 {
+			writeError(w, http.StatusBadRequest, "bad limit %q (want 1..1000)", v)
+			return
+		}
+		limit = n
+	}
+	var hits []core.LabelHit
+	err := sess.withRead(func(eng *core.Engine) error {
+		var err error
+		if exact != "" {
+			hits, err = eng.FindLabel(exact)
+		} else {
+			hits, err = eng.SearchLabelPrefix(prefix, limit)
+		}
+		return err
+	})
+	if err != nil {
+		writeError(w, statusOf(err, http.StatusBadRequest), "%s", err)
+		return
+	}
+	out := make([]labelHitJSON, 0, len(hits))
+	for _, h := range hits {
+		out = append(out, labelHitJSON{Label: h.Label, Node: h.Node, Leaf: h.Leaf, Path: h.Path})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session": sess.name, "hits": out})
+}

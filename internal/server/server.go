@@ -1,0 +1,144 @@
+// Package server puts the GMine engine behind a long-lived HTTP/JSON
+// service: named engine sessions (memory-built from an edge list or the
+// synthetic DBLP generator, or disk-backed via a persisted G-Tree) live in
+// a registry, and the paper's interactive operations — Tomahawk scenes,
+// label queries, §III.B mining metrics, §IV connection-subgraph
+// extraction — are endpoints. Per-session RW locking lets navigation and
+// extraction reads run in parallel while builds stay exclusive, and a
+// bounded LRU cache keyed on canonicalized request parameters serves
+// repeated interactive queries without re-running the RWR solve.
+//
+// Endpoints:
+//
+//	GET    /healthz                      liveness + session list + cache stats
+//	POST   /sessions                     build or open a session
+//	GET    /sessions                     list sessions
+//	GET    /sessions/{id}                session info
+//	DELETE /sessions/{id}                close and remove a session
+//	GET    /sessions/{id}/tree           hierarchy stats + community listing
+//	GET    /sessions/{id}/scene          Tomahawk scene (JSON or SVG)
+//	POST   /sessions/{id}/extract        multi-source connection subgraph
+//	GET    /sessions/{id}/analysis       SubgraphReport of a leaf community
+//	GET    /sessions/{id}/labels         exact or prefix label search
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Config tunes the server.
+type Config struct {
+	// Addr is the listen address (default ":8080").
+	Addr string
+	// CacheEntries bounds the LRU result cache (default 256).
+	CacheEntries int
+	// RequestTimeout caps each request end to end (default 60s); builds of
+	// very large sessions may need more.
+	RequestTimeout time.Duration
+	// MaxBudget caps the extraction node budget a request may ask for
+	// (default 2000) so one query cannot monopolize the server.
+	MaxBudget int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxBudget <= 0 {
+		c.MaxBudget = 2000
+	}
+	return c
+}
+
+// Server hosts the session registry and result cache.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	cache   *resultCache
+	started time.Time
+	httpSrv *http.Server
+}
+
+// New returns a server ready to Handle or ListenAndServe.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     NewRegistry(),
+		cache:   newResultCache(cfg.CacheEntries),
+		started: time.Now(),
+	}
+	// Built here, not in Serve, so a Shutdown racing a just-started Serve
+	// goroutine still sees the server and drains it.
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the routed handler with the request-timeout middleware
+// applied to query routes (exported for httptest and embedding). Session
+// creation and deletion stay outside the timeout: a large build may
+// legitimately exceed the query budget, and timing it out mid-build would
+// tell the client "failed" while the session still commits.
+func (s *Server) Handler() http.Handler {
+	queries := http.NewServeMux()
+	queries.HandleFunc("GET /healthz", s.handleHealthz)
+	queries.HandleFunc("GET /sessions", s.handleListSessions)
+	queries.HandleFunc("GET /sessions/{id}", s.handleSessionInfo)
+	queries.HandleFunc("GET /sessions/{id}/tree", s.handleTree)
+	queries.HandleFunc("GET /sessions/{id}/scene", s.handleScene)
+	queries.HandleFunc("POST /sessions/{id}/extract", s.handleExtract)
+	queries.HandleFunc("GET /sessions/{id}/analysis", s.handleAnalysis)
+	queries.HandleFunc("GET /sessions/{id}/labels", s.handleLabels)
+	timed := http.TimeoutHandler(queries, s.cfg.RequestTimeout,
+		`{"error":"request timed out"}`)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.handleCreateSession)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
+	mux.Handle("/", timed)
+	return mux
+}
+
+// ListenAndServe binds cfg.Addr and serves until Shutdown.
+func (s *Server) ListenAndServe() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on ln until Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	err := s.httpSrv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains in-flight requests (bounded by ctx), then closes every
+// session, releasing disk-backed files.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.httpSrv.Shutdown(ctx)
+	s.reg.closeAll()
+	return err
+}
+
+// Registry exposes the session registry (for embedding and preloading).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// CacheStats snapshots the result-cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.snapshot() }

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Session is one named engine instance hosted by the server. Its RWMutex
+// is the server's concurrency discipline: every query handler (tree,
+// scene, extract, analysis, labels) runs under the read lock so
+// interactive reads proceed in parallel, while the initial build and
+// deletion hold the write lock exclusively. Engine reads are themselves
+// side-effect free — handlers use the SceneAt-style accessors and never
+// move the engine's focus — and the disk-backed page path is internally
+// synchronized, so shared reads are race-free.
+type Session struct {
+	name string
+	gen  uint64 // registry-unique; cache keys embed it so a rebuilt name never hits stale entries
+
+	mu  sync.RWMutex
+	eng *core.Engine // nil while building, and again after the session dies
+
+	// Immutable after the build completes (published before mu unlocks).
+	source      string
+	nodes       int
+	edges       int
+	diskBacked  bool
+	createdAt   time.Time
+	buildMillis int64
+}
+
+// errSessionGone is returned by withRead when a session was reserved but
+// its build failed or it was deleted while the caller waited on the lock.
+var errSessionGone = fmt.Errorf("server: session is gone")
+
+// withRead runs fn with the session engine under the read lock.
+func (s *Session) withRead(fn func(eng *core.Engine) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.eng == nil {
+		return errSessionGone
+	}
+	return fn(s.eng)
+}
+
+// SessionInfo is the wire representation of a session.
+type SessionInfo struct {
+	Name        string    `json:"name"`
+	Source      string    `json:"source"`
+	Nodes       int       `json:"nodes"`
+	Edges       int       `json:"edges"`
+	Communities int       `json:"communities"`
+	Leaves      int       `json:"leaves"`
+	Levels      int       `json:"levels"`
+	DiskBacked  bool      `json:"diskBacked"`
+	CreatedAt   time.Time `json:"createdAt"`
+	BuildMillis int64     `json:"buildMillis"`
+}
+
+// info snapshots the session under the read lock.
+func (s *Session) info() (SessionInfo, error) {
+	var out SessionInfo
+	err := s.withRead(func(eng *core.Engine) error {
+		st := eng.Tree().ComputeStats()
+		out = SessionInfo{
+			Name:        s.name,
+			Source:      s.source,
+			Nodes:       s.nodes,
+			Edges:       s.edges,
+			Communities: st.Communities,
+			Leaves:      st.Leaves,
+			Levels:      st.Levels,
+			DiskBacked:  s.diskBacked,
+			CreatedAt:   s.createdAt,
+			BuildMillis: s.buildMillis,
+		}
+		return nil
+	})
+	return out, err
+}
+
+// cacheKey prefixes a request-parameter key with the session identity, so
+// entries die with the session generation.
+func (s *Session) cacheKey(params string) string {
+	return fmt.Sprintf("%s#%d|%s", s.name, s.gen, params)
+}
+
+// Registry maps names to live sessions. Creation is two-phase: reserve
+// publishes a write-locked placeholder (so the name is taken and readers
+// queue behind the build), then commit or abort releases it.
+type Registry struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	nextGen  uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sessions: make(map[string]*Session)}
+}
+
+// reserve claims name and returns the placeholder session with its write
+// lock held. The caller must call commit or abort exactly once.
+func (r *Registry) reserve(name string) (*Session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[name]; ok {
+		return nil, fmt.Errorf("server: session %q already exists", name)
+	}
+	r.nextGen++
+	s := &Session{name: name, gen: r.nextGen, createdAt: time.Now()}
+	s.mu.Lock()
+	r.sessions[name] = s
+	return s, nil
+}
+
+// commit publishes the built engine and releases the build lock.
+func (r *Registry) commit(s *Session, eng *core.Engine) {
+	s.eng = eng
+	s.mu.Unlock()
+}
+
+// abort removes a reserved session whose build failed and releases the
+// build lock; queued readers observe errSessionGone.
+func (r *Registry) abort(s *Session) {
+	r.mu.Lock()
+	delete(r.sessions, s.name)
+	r.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// get returns the named session.
+func (r *Registry) get(name string) (*Session, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.sessions[name]
+	return s, ok
+}
+
+// remove unregisters and closes the named session. It takes the session's
+// write lock, so it blocks until in-flight reads drain, and later readers
+// holding the stale pointer observe errSessionGone.
+func (r *Registry) remove(name string) error {
+	r.mu.Lock()
+	s, ok := r.sessions[name]
+	if ok {
+		delete(r.sessions, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: no session %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng != nil {
+		err := s.eng.Close()
+		s.eng = nil
+		return err
+	}
+	return nil
+}
+
+// names returns the registered session names, sorted.
+func (r *Registry) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.sessions))
+	for n := range r.sessions {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// closeAll closes every session (server shutdown).
+func (r *Registry) closeAll() {
+	for _, n := range r.names() {
+		_ = r.remove(n)
+	}
+}
