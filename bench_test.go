@@ -368,6 +368,33 @@ func BenchmarkRWRPushVsPower(b *testing.B) {
 	})
 }
 
+// BenchmarkRWRMultiFanout measures the multi-source RWR solve — the
+// extraction hot path — serial versus fanned out over the worker pool
+// (results are bit-identical; on a multi-core runner parallel>1 should
+// cut wall time roughly by the core count).
+func BenchmarkRWRMultiFanout(b *testing.B) {
+	setup(b)
+	csr := gmine.ToCSR(benchDS.Graph)
+	n := benchDS.Graph.NumNodes()
+	sources := make([]gmine.NodeID, 8)
+	for i := range sources {
+		sources[i] = gmine.NodeID((i*n)/len(sources) + 1)
+	}
+	for _, bench := range []struct {
+		name     string
+		parallel int
+	}{{"Serial", 1}, {"Parallel", 0}} { // 0 = GOMAXPROCS
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := gmine.RWRMulti(csr, sources, gmine.RWROptions{Parallel: bench.parallel}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkANFVsExactHopPlot contrasts the sketch-based neighborhood
 // function against exact all-sources BFS on the bench graph.
 func BenchmarkANFVsExactHopPlot(b *testing.B) {

@@ -21,6 +21,7 @@ func cmdServe(args []string) error {
 	cache := fs.Int("cache", 256, "LRU result-cache entries")
 	timeout := fs.Duration("timeout", 60*time.Second, "per-request timeout")
 	maxBudget := fs.Int("maxbudget", 2000, "max extraction node budget per request")
+	maxBatch := fs.Int("maxbatch", 64, "max extraction requests per batch call")
 	name := fs.String("name", "default", "name of the preloaded session")
 	synthetic := fs.Float64("synthetic", 0, "preload a synthetic DBLP session at this scale (0 = none)")
 	in := fs.String("in", "", "preload a session from this edge list")
@@ -36,6 +37,7 @@ func cmdServe(args []string) error {
 		CacheEntries:   *cache,
 		RequestTimeout: *timeout,
 		MaxBudget:      *maxBudget,
+		MaxBatch:       *maxBatch,
 	})
 
 	var preload *server.CreateSessionRequest

@@ -158,6 +158,14 @@ func ConnectionSubgraph(g *Graph, sources []NodeID, opts ExtractOptions) (*Extra
 	return extract.ConnectionSubgraph(g, sources, opts)
 }
 
+// ConnectionSubgraphCSR is ConnectionSubgraph with a caller-supplied CSR,
+// so repeated interactive queries over one graph reuse a single immutable
+// compute representation (Engine.Extract does this automatically via its
+// cached CSR).
+func ConnectionSubgraphCSR(g *Graph, c *CSR, sources []NodeID, opts ExtractOptions) (*ExtractResult, error) {
+	return extract.ConnectionSubgraphCSR(g, c, sources, opts)
+}
+
 // RWRPower computes the exact random walk with restart by power
 // iteration; RWRPush is the residual-push approximation (local work,
 // suited to interactive queries on the full-scale graph).
@@ -165,6 +173,11 @@ var (
 	RWRPower = extract.RWR
 	RWRPush  = extract.RWRPush
 )
+
+// RWRMulti runs one independent RWR per source over a bounded worker pool
+// (RWROptions.Parallel, default GOMAXPROCS); output is bit-identical to
+// the serial order for any pool size.
+var RWRMulti = extract.RWRMulti
 
 // PairwiseOptions configures the KDD'04 electrical baseline.
 type PairwiseOptions = extract.PairwiseOptions
@@ -185,9 +198,11 @@ func AnalysisReport(g *Graph, hopSamples int, seed int64) SubgraphReport {
 	return analysis.Report(g, hopSamples, seed)
 }
 
-// PageRank, components, hops and degree helpers.
+// PageRank, components, hops and degree helpers. PageRankCSR runs on a
+// prebuilt CSR (see Engine.CSR) instead of converting per call.
 var (
 	PageRank           = analysis.PageRank
+	PageRankCSR        = analysis.PageRankCSR
 	WeakComponents     = analysis.WeakComponents
 	StrongComponents   = analysis.StrongComponents
 	DegreeDistribution = analysis.DegreeDistribution
@@ -281,6 +296,16 @@ type ServerSessionInfo = server.SessionInfo
 // CreateSessionRequest describes a session to build or open (POST
 // /sessions body, also accepted by Server.Preload).
 type CreateSessionRequest = server.CreateSessionRequest
+
+// BatchExtractRequest / BatchExtractResponse are the wire types of POST
+// /sessions/{id}/extract/batch: many extractions executed through one
+// bounded worker pool against the session's shared CSR, with per-item
+// cache hit/miss reporting.
+type (
+	BatchExtractRequest  = server.BatchExtractRequest
+	BatchExtractResponse = server.BatchExtractResponse
+	BatchExtractItem     = server.BatchExtractItem
+)
 
 // NewServer returns an HTTP server ready to Preload sessions and serve.
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }

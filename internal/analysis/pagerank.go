@@ -32,10 +32,18 @@ func (o PageRankOptions) withDefaults() PageRankOptions {
 
 // PageRank computes the PageRank vector by power iteration, weighting
 // transitions by edge weight. Dangling nodes redistribute uniformly. The
-// result sums to 1.
+// result sums to 1. It converts g to CSR form first; callers holding a
+// cached CSR (core.Engine) should use PageRankCSR directly.
 func PageRank(g *graph.Graph, opts PageRankOptions) []float64 {
+	return PageRankCSR(graph.ToCSR(g), opts)
+}
+
+// PageRankCSR is PageRank over a prebuilt CSR, so repeated analysis queries
+// against one graph share a single immutable compute representation instead
+// of re-deriving it per call.
+func PageRankCSR(c *graph.CSR, opts PageRankOptions) []float64 {
 	opts = opts.withDefaults()
-	n := g.NumNodes()
+	n := c.N
 	if n == 0 {
 		return nil
 	}
@@ -45,10 +53,7 @@ func PageRank(g *graph.Graph, opts PageRankOptions) []float64 {
 	for i := range rank {
 		rank[i] = inv
 	}
-	wdeg := make([]float64, n)
-	for u := 0; u < n; u++ {
-		wdeg[u] = g.WeightedDegree(graph.NodeID(u))
-	}
+	wdeg := c.WeightedDegrees()
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		var dangling float64
 		for u := 0; u < n; u++ {
@@ -65,8 +70,9 @@ func PageRank(g *graph.Graph, opts PageRankOptions) []float64 {
 				continue
 			}
 			share := opts.Damping * rank[u] / wdeg[u]
-			for _, e := range g.Neighbors(graph.NodeID(u)) {
-				next[e.To] += share * e.Weight
+			nbrs, ws := c.Neighbors(graph.NodeID(u))
+			for i, v := range nbrs {
+				next[v] += share * ws[i]
 			}
 		}
 		var delta float64

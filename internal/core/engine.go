@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/extract"
@@ -46,6 +47,13 @@ type Engine struct {
 	g     *graph.Graph
 	tree  *gtree.Tree
 	store *gtree.Store
+
+	// csr is the graph's immutable CSR form, built at most once per engine
+	// (lazily, on the first compute query) and shared by every extraction
+	// and analysis kernel thereafter. The sync.Once guard makes CSR() safe
+	// under the server's concurrent read locks.
+	csrOnce sync.Once
+	csr     *graph.CSR
 
 	focus   gtree.TreeID
 	history []gtree.TreeID
@@ -101,6 +109,24 @@ func (e *Engine) Tree() *gtree.Tree { return e.tree }
 // Graph returns the in-memory source graph, or nil for disk-backed
 // engines.
 func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// CSR returns the engine's cached compressed-sparse-row view of the graph,
+// building it on first use (sync.Once-guarded, so concurrent query readers
+// share one build). The CSR is immutable; no query path rebuilds it per
+// request. Returns nil for disk-backed engines, whose full graph is not
+// resident.
+func (e *Engine) CSR() *graph.CSR {
+	if e.g == nil {
+		return nil
+	}
+	e.csrOnce.Do(func() {
+		e.csr = graph.ToCSR(e.g)
+		// Warm the weighted-degree table too: every RWR solve needs it,
+		// and building it here keeps query-time work purely read-only.
+		e.csr.WeightedDegrees()
+	})
+	return e.csr
+}
 
 // Store returns the backing store of disk-backed engines (nil otherwise).
 func (e *Engine) Store() *gtree.Store { return e.store }
@@ -297,7 +323,7 @@ func (e *Engine) Extract(sources []graph.NodeID, opts extract.Options) (*extract
 	if e.g == nil {
 		return nil, fmt.Errorf("core: extraction needs a memory-backed engine")
 	}
-	return extract.ConnectionSubgraph(e.g, sources, opts)
+	return extract.ConnectionSubgraphCSR(e.g, e.CSR(), sources, opts)
 }
 
 // ExtractByLabels resolves labels to nodes and extracts their connection

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dblp"
+	"repro/internal/extract"
+	"repro/internal/graph"
+)
+
+// TestEngineCSRBuiltOnce checks the engine's CSR is lazily built exactly
+// once and shared: every call — including concurrent ones, mirroring the
+// server's read-locked query handlers — returns the same instance.
+func TestEngineCSRBuiltOnce(t *testing.T) {
+	ds := dblp.SmallFixture()
+	eng, err := BuildEngine(ds.Graph, BuildConfig{K: 3, Levels: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := eng.CSR()
+	if first == nil {
+		t.Fatal("memory-backed engine returned nil CSR")
+	}
+	var wg sync.WaitGroup
+	got := make([]*graph.CSR, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = eng.CSR()
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range got {
+		if c != first {
+			t.Fatalf("call %d returned a different CSR instance", i)
+		}
+	}
+	if first.N != ds.Graph.NumNodes() {
+		t.Fatalf("CSR has %d nodes, graph has %d", first.N, ds.Graph.NumNodes())
+	}
+}
+
+// TestEngineExtractUsesCachedCSR checks extraction through the engine
+// agrees with the stand-alone path (which converts per call).
+func TestEngineExtractUsesCachedCSR(t *testing.T) {
+	ds := dblp.SmallFixture()
+	eng, err := BuildEngine(ds.Graph, BuildConfig{K: 3, Levels: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []graph.NodeID{ds.Notables[dblp.NamePhilipYu], ds.Notables[dblp.NameFlipKorn]}
+	want, err := extract.ConnectionSubgraph(ds.Graph, sources, extract.Options{Budget: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := eng.Extract(sources, extract.Options{Budget: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TotalGoodness != want.TotalGoodness || len(got.Nodes) != len(want.Nodes) {
+			t.Fatalf("engine extract diverged from stand-alone: %v/%d vs %v/%d",
+				got.TotalGoodness, len(got.Nodes), want.TotalGoodness, len(want.Nodes))
+		}
+	}
+}
+
+// TestDiskBackedEngineCSRNil checks disk-backed engines (no resident
+// graph) report no CSR instead of panicking.
+func TestDiskBackedEngineCSRNil(t *testing.T) {
+	ds := dblp.SmallFixture()
+	eng, err := BuildEngine(ds.Graph, BuildConfig{K: 3, Levels: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/t.gtree"
+	if err := eng.SaveTree(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := OpenEngine(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	if disk.CSR() != nil {
+		t.Fatal("disk-backed engine returned a CSR")
+	}
+}

@@ -24,15 +24,25 @@ type Options struct {
 	MaxPathLen int
 }
 
-func (o Options) withDefaults() Options {
+// Normalize validates o and fills zero fields with defaults, rejecting
+// explicitly out-of-range RWR parameters. It is idempotent, and the server
+// uses it to canonicalize requests before building cache keys, so "budget
+// omitted" and "budget 30" share one cache entry.
+func (o Options) Normalize() (Options, error) {
 	if o.Budget <= 0 {
 		o.Budget = 30
 	}
 	if o.MaxPathLen <= 0 {
 		o.MaxPathLen = 10
 	}
-	o.RWR = o.RWR.withDefaults()
-	return o
+	if o.Mode != CombineKSoftAND {
+		// K only participates in k-softAND scoring; zero it elsewhere so
+		// semantically identical requests canonicalize identically.
+		o.K = 0
+	}
+	var err error
+	o.RWR, err = o.RWR.Normalize()
+	return o, err
 }
 
 // Result is an extracted connection subgraph.
@@ -57,8 +67,24 @@ type Result struct {
 // relationship among the source nodes, following the paper's §IV: RWR per
 // source, goodness by meeting probability, then iterative key-path
 // discovery via dynamic programming until the node budget is filled.
+//
+// It converts g to CSR form on every call; interactive callers issuing
+// repeated queries over one graph should build the CSR once and use
+// ConnectionSubgraphCSR (core.Engine does this automatically).
 func ConnectionSubgraph(g *graph.Graph, sources []graph.NodeID, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	return ConnectionSubgraphCSR(g, graph.ToCSR(g), sources, opts)
+}
+
+// ConnectionSubgraphCSR is ConnectionSubgraph with a caller-supplied CSR of
+// g, letting the hot query path reuse one immutable CSR across requests
+// instead of rebuilding it per extraction. c must be the CSR form of g
+// (same node ids, both half-edges); the graph is still needed for node
+// validation and for inducing the labeled output subgraph.
+func ConnectionSubgraphCSR(g *graph.Graph, c *graph.CSR, sources []graph.NodeID, opts Options) (*Result, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("extract: need at least one source")
 	}
@@ -75,7 +101,6 @@ func ConnectionSubgraph(g *graph.Graph, sources []graph.NodeID, opts Options) (*
 	if opts.Budget < len(sources) {
 		return nil, fmt.Errorf("extract: budget %d below source count %d", opts.Budget, len(sources))
 	}
-	c := graph.ToCSR(g)
 	rwr, err := RWRMulti(c, sources, opts.RWR)
 	if err != nil {
 		return nil, err

@@ -32,10 +32,7 @@ func RWRPush(c *graph.CSR, src graph.NodeID, restart, epsilon float64) ([]float6
 	p := make([]float64, n)
 	r := make([]float64, n)
 	r[src] = 1
-	wdeg := make([]float64, n)
-	for u := 0; u < n; u++ {
-		wdeg[u] = c.WeightedDegree(graph.NodeID(u))
-	}
+	wdeg := c.WeightedDegrees()
 	// FIFO queue of nodes whose residual exceeds the push threshold.
 	inQ := make([]bool, n)
 	queue := make([]int32, 0, 64)

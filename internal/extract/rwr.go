@@ -10,6 +10,8 @@ package extract
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -17,25 +19,46 @@ import (
 // RWROptions tunes the random walk with restart.
 type RWROptions struct {
 	// Restart is the restart probability c (default 0.15): at every step
-	// the particle returns to its source with probability c.
+	// the particle returns to its source with probability c. Must lie in
+	// (0,1); zero means "use the default".
 	Restart float64
-	// Epsilon is the L1 convergence threshold (default 1e-10).
+	// Epsilon is the L1 convergence threshold (default 1e-10). Must be
+	// positive; zero means "use the default".
 	Epsilon float64
 	// MaxIter caps power iterations (default 200).
 	MaxIter int
+	// Parallel bounds the worker pool RWRMulti fans sources out over
+	// (default GOMAXPROCS). Results are bit-identical for any value: each
+	// source's walk is independent and deterministic, so Parallel is an
+	// execution knob, never a semantic one (and is excluded from server
+	// cache keys for that reason).
+	Parallel int
 }
 
-func (o RWROptions) withDefaults() RWROptions {
-	if o.Restart <= 0 || o.Restart >= 1 {
+// Normalize validates o and fills zero fields with defaults. Explicitly
+// out-of-range values are rejected instead of silently remapped, so a
+// caller asking for Restart=1.5 gets an error rather than results computed
+// under Restart=0.15.
+func (o RWROptions) Normalize() (RWROptions, error) {
+	switch {
+	case o.Restart == 0:
 		o.Restart = 0.15
+	case o.Restart <= 0 || o.Restart >= 1:
+		return o, fmt.Errorf("extract: restart probability %g out of range (0,1)", o.Restart)
 	}
-	if o.Epsilon <= 0 {
+	switch {
+	case o.Epsilon == 0:
 		o.Epsilon = 1e-10
+	case o.Epsilon < 0:
+		return o, fmt.Errorf("extract: epsilon %g must be positive", o.Epsilon)
 	}
 	if o.MaxIter <= 0 {
 		o.MaxIter = 200
 	}
-	return o
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	return o, nil
 }
 
 // RWR computes the steady-state visiting distribution of a random walk
@@ -49,7 +72,10 @@ func RWR(c *graph.CSR, src graph.NodeID, opts RWROptions) ([]float64, error) {
 // RWRSet computes RWR with the restart mass spread uniformly over a source
 // set (the particle teleports to a random member of the set).
 func RWRSet(c *graph.CSR, sources []graph.NodeID, opts RWROptions) ([]float64, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
 	n := c.N
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("extract: RWR needs at least one source")
@@ -64,10 +90,7 @@ func RWRSet(c *graph.CSR, sources []graph.NodeID, opts RWROptions) ([]float64, e
 	for _, s := range sources {
 		restartMass[s] += share
 	}
-	wdeg := make([]float64, n)
-	for u := 0; u < n; u++ {
-		wdeg[u] = c.WeightedDegree(graph.NodeID(u))
-	}
+	wdeg := c.WeightedDegrees()
 	r := make([]float64, n)
 	next := make([]float64, n)
 	copy(r, restartMass)
@@ -110,15 +133,91 @@ func RWRSet(c *graph.CSR, sources []graph.NodeID, opts RWROptions) ([]float64, e
 }
 
 // RWRMulti runs an independent RWR per source, returning one score vector
-// per source — the inputs to the goodness score.
+// per source — the inputs to the goodness score. Sources fan out over a
+// bounded worker pool of opts.Parallel goroutines (default GOMAXPROCS);
+// every walk is independent and deterministic, so the output is
+// bit-identical to the serial order for any pool size.
 func RWRMulti(c *graph.CSR, sources []graph.NodeID, opts RWROptions) ([][]float64, error) {
-	out := make([][]float64, len(sources))
-	for i, s := range sources {
-		r, err := RWR(c, s, opts)
-		if err != nil {
-			return nil, err
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	// Validate every source up front so the parallel path reports the same
+	// (first-in-order) error the serial path would.
+	for _, s := range sources {
+		if s < 0 || int(s) >= c.N {
+			return nil, fmt.Errorf("extract: source %d out of range (n=%d)", s, c.N)
 		}
-		out[i] = r
+	}
+	out := make([][]float64, len(sources))
+	workers := opts.Parallel
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers <= 1 {
+		for i, s := range sources {
+			r, err := RWR(c, s, opts)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	// Force the weighted-degree table once before the fan-out: sync.Once
+	// would serialize the first concurrent callers anyway, and a warm table
+	// keeps the workers purely read-only on the CSR.
+	c.WeightedDegrees()
+	var (
+		wg         sync.WaitGroup
+		errMu      sync.Mutex
+		firstErr   error
+		firstPanic any
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				// A worker panic must not kill the process from a bare
+				// goroutine; capture it and re-raise on the caller so the
+				// parallel path panics exactly like the serial one (where
+				// a server's request-level recovery can handle it).
+				if r := recover(); r != nil {
+					errMu.Lock()
+					if firstPanic == nil {
+						firstPanic = r
+					}
+					errMu.Unlock()
+					for range jobs { // drain so the feeder never blocks
+					}
+				}
+			}()
+			for i := range jobs {
+				r, err := RWR(c, sources[i], opts)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	for i := range sources {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

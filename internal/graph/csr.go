@@ -1,17 +1,27 @@
 package graph
 
+import "sync"
+
 // CSR is a compressed-sparse-row view of a graph, the layout used by the
 // partitioner and the random-walk kernels. For undirected graphs the
 // structure stores both half-edges, exactly like the adjacency form.
 //
 // NodeW carries per-node integer weights used by the multilevel partitioner
 // (a coarse node's weight is the number of original nodes it represents).
+//
+// A CSR is immutable once built, so a single instance may be shared freely
+// across goroutines (the engine caches one per graph and every query kernel
+// reads it concurrently). Do not copy a CSR by value: the lazily cached
+// weighted-degree table carries a sync.Once.
 type CSR struct {
 	N      int
 	Xadj   []int32   // len N+1; Adjncy[Xadj[u]:Xadj[u+1]] are u's neighbors
 	Adjncy []NodeID  // concatenated neighbor lists
 	EdgeW  []float64 // parallel to Adjncy
 	NodeW  []int32   // len N; defaults to all-ones
+
+	wdegOnce sync.Once
+	wdeg     []float64
 }
 
 // ToCSR converts g into CSR form. Adjacency order is preserved.
@@ -56,6 +66,27 @@ func (c *CSR) WeightedDegree(u NodeID) float64 {
 		s += c.EdgeW[i]
 	}
 	return s
+}
+
+// WeightedDegrees returns the per-node weighted degree table, computing it
+// on first use and caching it for the CSR's lifetime. The random-walk
+// kernels call this on every query; with the engine's cached CSR the O(E)
+// sweep happens once per graph instead of once per request. Safe for
+// concurrent use; callers must not mutate the returned slice.
+func (c *CSR) WeightedDegrees() []float64 {
+	c.wdegOnce.Do(func() {
+		wdeg := make([]float64, c.N)
+		for u := 0; u < c.N; u++ {
+			var s float64
+			lo, hi := c.Xadj[u], c.Xadj[u+1]
+			for i := lo; i < hi; i++ {
+				s += c.EdgeW[i]
+			}
+			wdeg[u] = s
+		}
+		c.wdeg = wdeg
+	})
+	return c.wdeg
 }
 
 // TotalNodeWeight returns the sum of node weights.

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+)
+
+// BatchExtractRequest is the body of POST /sessions/{id}/extract/batch: a
+// list of extraction requests executed through one bounded worker pool
+// against the session's shared CSR. A dashboard issuing 50 extractions
+// costs one CSR build and saturates the cores instead of serializing 50
+// HTTP round trips.
+type BatchExtractRequest struct {
+	// Requests lists the extractions (1..Config.MaxBatch items). Items use
+	// the same schema as POST /sessions/{id}/extract, except the format
+	// must be "json" (the batch response embeds each result as JSON).
+	Requests []ExtractRequest `json:"requests"`
+	// Parallel bounds how many items execute concurrently (default
+	// GOMAXPROCS, capped at the item count). Execution knob only: the
+	// per-item results are identical for any value.
+	Parallel int `json:"parallel"`
+}
+
+// BatchExtractItem is the outcome of one batch item, reported in input
+// order. Exactly one of Extraction and Error is set.
+type BatchExtractItem struct {
+	// Index is the item's position in the request list.
+	Index int `json:"index"`
+	// Status is the per-item HTTP status the same single request would
+	// have received (200, 400, ...).
+	Status int `json:"status"`
+	// Cache reports how the item was served: "hit" (result cache), "miss"
+	// (this item ran the solve) or "coalesced" (an identical build was
+	// already in flight — including a duplicate item in the same batch —
+	// and this item shares its result).
+	Cache string `json:"cache,omitempty"`
+	// Extraction is the extractResponse JSON for successful items.
+	Extraction json.RawMessage `json:"extraction,omitempty"`
+	// Error describes a failed item.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchExtractResponse is the body of a batch extraction reply. The HTTP
+// status is 200 whenever the batch itself was well-formed; per-item
+// failures are reported inline so one bad item cannot void its siblings.
+type BatchExtractResponse struct {
+	Session   string             `json:"session"`
+	Count     int                `json:"count"`
+	Succeeded int                `json:"succeeded"`
+	Failed    int                `json:"failed"`
+	Results   []BatchExtractItem `json:"results"`
+}
+
+func (s *Server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req BatchExtractRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch body: %s", err)
+		return
+	}
+	n := len(req.Requests)
+	if n == 0 {
+		writeError(w, http.StatusBadRequest, "batch needs at least one request")
+		return
+	}
+	if n > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d exceeds server cap %d", n, s.cfg.MaxBatch)
+		return
+	}
+	workers := req.Parallel
+	if workers <= 0 || workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	resp := BatchExtractResponse{
+		Session: sess.name,
+		Count:   n,
+		Results: make([]BatchExtractItem, n),
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				resp.Results[idx] = s.safeBatchItem(sess, req.Requests[idx], idx, workers)
+			}
+		}()
+	}
+	for idx := range req.Requests {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i := range resp.Results {
+		if resp.Results[i].Error == "" {
+			resp.Succeeded++
+		} else {
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// safeBatchItem contains a panicking build to its own item. Batch items
+// run on pool goroutines, outside net/http's per-request recovery — an
+// unrecovered panic there would kill the whole server, not one request.
+func (s *Server) safeBatchItem(sess *Session, req ExtractRequest, idx, workers int) (item BatchExtractItem) {
+	defer func() {
+		if r := recover(); r != nil {
+			item = BatchExtractItem{
+				Index:  idx,
+				Status: http.StatusInternalServerError,
+				Error:  fmt.Sprintf("internal error: %v", r),
+			}
+		}
+	}()
+	return s.runBatchItem(sess, req, idx, workers)
+}
+
+// runBatchItem plans and executes one batch item through the shared result
+// cache and singleflight, so items identical to cached or in-flight queries
+// (even duplicates within the same batch) cost nothing extra.
+func (s *Server) runBatchItem(sess *Session, req ExtractRequest, idx, workers int) BatchExtractItem {
+	item := BatchExtractItem{Index: idx}
+	if req.Format != "" && req.Format != "json" {
+		item.Status = http.StatusBadRequest
+		item.Error = fmt.Sprintf("batch items must use format \"json\" (got %q)", req.Format)
+		return item
+	}
+	// Items already run concurrently; give each item its share of the
+	// cores instead of letting every item's RWR pool claim all of
+	// GOMAXPROCS (an explicit per-item "parallel" is clamped to the share
+	// too, or total concurrency would multiply to workers x GOMAXPROCS).
+	// Safe to vary per request: Parallel never changes results or keys.
+	share := runtime.GOMAXPROCS(0) / workers
+	if share < 1 {
+		share = 1
+	}
+	if req.Parallel <= 0 || req.Parallel > share {
+		req.Parallel = share
+	}
+	p, status, err := s.planExtract(sess, req)
+	if err != nil {
+		item.Status, item.Error = status, err.Error()
+		return item
+	}
+	body, _, state, errStatus, err := s.cachedResult(p.key, func() ([]byte, string, int, error) {
+		return s.buildExtract(sess, p)
+	})
+	if err != nil {
+		item.Status, item.Error = errStatus, err.Error()
+		return item
+	}
+	item.Status, item.Cache, item.Extraction = http.StatusOK, state, json.RawMessage(body)
+	return item
+}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -8,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/dblp"
+	"repro/internal/graph"
 )
 
 // BenchmarkServeExtract measures extraction latency through the full HTTP
@@ -45,6 +48,66 @@ func BenchmarkServeExtract(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			do(b)
+		}
+	})
+}
+
+// BenchmarkServeExtractThroughput contrasts three ways of answering the
+// same 8 distinct multi-source extractions through the HTTP layer, cold
+// cache every iteration: "sequentialSerial" issues 8 single requests with
+// the RWR pool pinned to 1 (the pre-PR2 behavior), "sequentialParallel"
+// issues 8 single requests with the default GOMAXPROCS RWR pool, and
+// "batch" issues one extract/batch call that fans the items out over the
+// server-side worker pool. The spread is what cached-CSR + parallel
+// compute buys a dashboard.
+func BenchmarkServeExtractThroughput(b *testing.B) {
+	s := New(Config{CacheEntries: 256})
+	if _, err := s.Preload(CreateSessionRequest{
+		Name: "bench", Source: "synthetic", Scale: 0.02, Seed: 7, K: 3, Levels: 3,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	const items = 8
+	reqs := make([]ExtractRequest, items)
+	for i := range reqs {
+		// Distinct source sets so nothing hits the cache within a pass.
+		reqs[i] = ExtractRequest{Sources: []graph.NodeID{graph.NodeID(10 + i), graph.NodeID(500 + 40*i), graph.NodeID(1200 + 17*i)}, Budget: 20}
+	}
+	do := func(b *testing.B, method, path string, payload any) {
+		body, err := json.Marshal(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := httptest.NewRequest(method, path, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.Run("sequentialSerial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.cache.reset()
+			for _, r := range reqs {
+				r.Parallel = 1
+				do(b, http.MethodPost, "/sessions/bench/extract", r)
+			}
+		}
+	})
+	b.Run("sequentialParallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.cache.reset()
+			for _, r := range reqs {
+				do(b, http.MethodPost, "/sessions/bench/extract", r)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.cache.reset()
+			do(b, http.MethodPost, "/sessions/bench/extract/batch", BatchExtractRequest{Requests: reqs})
 		}
 	})
 }

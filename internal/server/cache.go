@@ -13,6 +13,9 @@ type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	// Coalesced counts requests that missed while an identical build was
+	// already in flight and were served the leader's result (singleflight).
+	Coalesced uint64 `json:"coalesced"`
 }
 
 // resultCache is a bounded LRU keyed by canonicalized request parameters.
@@ -45,20 +48,28 @@ func newResultCache(capacity int) *resultCache {
 	}
 }
 
-// get returns the cached body and content type for key, recording a hit or
-// miss.
+// get returns the cached body and content type for key, recording a hit on
+// success. A failed lookup records nothing: misses are counted by the
+// singleflight leader that actually runs a build (see miss), so the
+// Misses counter means "solves run", not "lookups that raced".
 func (c *resultCache) get(key string) ([]byte, string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.stats.Misses++
 		return nil, "", false
 	}
 	c.stats.Hits++
 	c.ll.MoveToFront(el)
 	e := el.Value.(*cacheEntry)
 	return e.body, e.ctyp, true
+}
+
+// miss records one build actually run after a cold lookup.
+func (c *resultCache) miss() {
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
 }
 
 // put stores body under key, evicting the least recently used entry when
@@ -79,6 +90,13 @@ func (c *resultCache) put(key string, body []byte, ctyp string) {
 		delete(c.items, back.Value.(*cacheEntry).key)
 		c.stats.Evictions++
 	}
+}
+
+// coalesced records one singleflight follower served by a shared build.
+func (c *resultCache) coalesced() {
+	c.mu.Lock()
+	c.stats.Coalesced++
+	c.mu.Unlock()
 }
 
 // reset drops every entry and zeroes the counters (used by benchmarks to

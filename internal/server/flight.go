@@ -1,0 +1,55 @@
+package server
+
+import "sync"
+
+// flightCall is one in-progress build shared by every request that missed
+// the cache on the same key while it runs. The result fields are written
+// by the leader before finish closes done; ok distinguishes a completed
+// build from a leader that never finished (its build panicked and the
+// deferred finish ran during unwinding), so followers are never served a
+// zero-value "success".
+type flightCall struct {
+	done      chan struct{}
+	ok        bool
+	body      []byte
+	ctyp      string
+	errStatus int
+	err       error
+}
+
+// flightGroup deduplicates concurrent builds per cache key (singleflight):
+// the first request to miss becomes the leader and runs the expensive
+// build; every other request for the same key blocks on the call and
+// shares the leader's result instead of re-running the RWR solve / layout.
+// Without this, N concurrent misses on one key all pay the full build — the
+// classic cache stampede.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// begin joins the in-flight build for key, creating it if absent. The
+// returned bool is true for the leader, who must run the build, fill the
+// call, and finish() exactly once; followers wait on call.done.
+func (g *flightGroup) begin(key string) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// finish publishes the leader's result to the followers and retires the
+// key, so later misses (e.g. after an eviction) start a fresh build.
+func (g *flightGroup) finish(key string, c *flightCall) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}

@@ -52,24 +52,57 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool
 	return sess, true
 }
 
-// serveCached serves key from the result cache, or runs build, caches a
-// successful body and serves it. Hit/miss is reported in the X-Gmine-Cache
-// header and aggregated on /healthz.
+// cachedResult serves key from the result cache, or runs build under a
+// per-key singleflight, caches a successful body and returns it. The
+// returned state is "hit" (cache), "miss" (this caller ran the build) or
+// "coalesced" (an identical build was already in flight; this caller
+// waited and shares its result). Coalescing is what stops a cache
+// stampede: N concurrent misses on one key cost one build, not N.
+func (s *Server) cachedResult(key string,
+	build func() (body []byte, ctyp string, errStatus int, err error)) (
+	body []byte, ctyp, state string, errStatus int, err error) {
+	if body, ctyp, ok := s.cache.get(key); ok {
+		return body, ctyp, "hit", 0, nil
+	}
+	call, leader := s.flight.begin(key)
+	if !leader {
+		<-call.done
+		s.cache.coalesced()
+		if !call.ok {
+			// The leader never completed (its build panicked); don't hand
+			// out a zero-value body as a 200.
+			return nil, "", "coalesced", http.StatusInternalServerError,
+				fmt.Errorf("shared in-flight build did not complete")
+		}
+		return call.body, call.ctyp, "coalesced", call.errStatus, call.err
+	}
+	defer s.flight.finish(key, call)
+	// Double-check: a previous leader may have filled the cache between our
+	// first lookup and joining the flight group. This is a genuinely served
+	// hit, so count and LRU-refresh it like any other.
+	if body, ctyp, ok := s.cache.get(key); ok {
+		call.body, call.ctyp, call.ok = body, ctyp, true
+		return body, ctyp, "hit", 0, nil
+	}
+	s.cache.miss()
+	body, ctyp, errStatus, err = build()
+	call.body, call.ctyp, call.errStatus, call.err, call.ok = body, ctyp, errStatus, err, true
+	if err == nil {
+		s.cache.put(key, body, ctyp)
+	}
+	return body, ctyp, "miss", errStatus, err
+}
+
+// serveCached writes a cachedResult to the response, reporting the cache
+// state in the X-Gmine-Cache header (aggregated on /healthz).
 func (s *Server) serveCached(w http.ResponseWriter, key string,
 	build func() (body []byte, ctyp string, errStatus int, err error)) {
-	if body, ctyp, ok := s.cache.get(key); ok {
-		w.Header().Set("X-Gmine-Cache", "hit")
-		w.Header().Set("Content-Type", ctyp)
-		_, _ = w.Write(body)
-		return
-	}
-	body, ctyp, errStatus, err := build()
+	body, ctyp, state, errStatus, err := s.cachedResult(key, build)
 	if err != nil {
 		writeError(w, errStatus, "%s", err)
 		return
 	}
-	s.cache.put(key, body, ctyp)
-	w.Header().Set("X-Gmine-Cache", "miss")
+	w.Header().Set("X-Gmine-Cache", state)
 	w.Header().Set("Content-Type", ctyp)
 	_, _ = w.Write(body)
 }
@@ -515,6 +548,10 @@ type ExtractRequest struct {
 	// Size is the SVG canvas (default 800); Seed drives the SVG layout.
 	Size float64 `json:"size"`
 	Seed int64   `json:"seed"`
+	// Parallel bounds the worker pool the per-source RWR solves fan out
+	// over (default GOMAXPROCS). Purely an execution knob — results are
+	// bit-identical for any value — so it never enters the cache key.
+	Parallel int `json:"parallel"`
 }
 
 type extractNodeJSON struct {
@@ -553,42 +590,45 @@ func parseCombineMode(s string) (extract.CombineMode, error) {
 	return 0, fmt.Errorf("unknown combine mode %q", s)
 }
 
-func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.session(w, r)
-	if !ok {
-		return
-	}
-	var req ExtractRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad extract body: %s", err)
-		return
-	}
+// extractPlan is a validated, canonicalized extraction request: labels
+// resolved, sources sorted and deduplicated (the RWR restart set is
+// order-independent, so [2,1] and [1,2] must solve — and cache — as one
+// query), options normalized, and the cache key derived from the canonical
+// form only.
+type extractPlan struct {
+	sources []graph.NodeID
+	opts    extract.Options
+	format  string
+	size    float64
+	seed    int64
+	key     string
+}
+
+// planExtract validates req against sess and canonicalizes it into an
+// executable plan. The returned status accompanies a non-nil error.
+func (s *Server) planExtract(sess *Session, req ExtractRequest) (extractPlan, int, error) {
+	var p extractPlan
 	if len(req.Sources) == 0 && len(req.Labels) == 0 {
-		writeError(w, http.StatusBadRequest, "need sources or labels")
-		return
+		return p, http.StatusBadRequest, fmt.Errorf("need sources or labels")
 	}
 	mode, err := parseCombineMode(req.Mode)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%s", err)
-		return
+		return p, http.StatusBadRequest, err
 	}
 	if req.Budget > s.cfg.MaxBudget {
-		writeError(w, http.StatusBadRequest, "budget %d exceeds server cap %d", req.Budget, s.cfg.MaxBudget)
-		return
+		return p, http.StatusBadRequest,
+			fmt.Errorf("budget %d exceeds server cap %d", req.Budget, s.cfg.MaxBudget)
 	}
-	format := req.Format
-	if format == "" {
-		format = "json"
+	p.format = req.Format
+	if p.format == "" {
+		p.format = "json"
 	}
-	if format != "json" && format != "svg" {
-		writeError(w, http.StatusBadRequest, "format must be json or svg (got %q)", format)
-		return
+	if p.format != "json" && p.format != "svg" {
+		return p, http.StatusBadRequest, fmt.Errorf("format must be json or svg (got %q)", p.format)
 	}
-	size := req.Size
-	if size <= 0 {
-		size = 800
+	p.size, p.seed = req.Size, req.Seed
+	if p.size <= 0 {
+		p.size = 800
 	}
 
 	// Resolve labels to ids under the read lock, then canonicalize the
@@ -615,8 +655,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		} else if sess.diskBacked {
 			status = http.StatusConflict
 		}
-		writeError(w, status, "%s", err)
-		return
+		return p, status, err
 	}
 	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
 	dedup := sources[:0]
@@ -625,56 +664,86 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 			dedup = append(dedup, id)
 		}
 	}
-	sources = dedup
+	p.sources = dedup
 
-	opts := extract.Options{
+	// Clamp client-supplied parallelism to the cores actually available —
+	// otherwise one request could ask for thousands of concurrent solver
+	// goroutines, each with O(n) scratch space.
+	parallel := req.Parallel
+	if parallel > runtime.GOMAXPROCS(0) {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	// Normalize before building the key, so "budget omitted" and "budget
+	// 30" share a cache entry, and explicitly out-of-range RWR parameters
+	// (restart 1.5, negative epsilon) are rejected up front instead of
+	// silently remapped.
+	p.opts, err = extract.Options{
 		Budget:     req.Budget,
-		RWR:        extract.RWROptions{Restart: req.Restart},
+		RWR:        extract.RWROptions{Restart: req.Restart, Parallel: parallel},
 		Mode:       mode,
 		K:          req.K,
 		MaxPathLen: req.MaxPathLen,
-	}
-	// Canonicalize before building the key, mirroring the extract package's
-	// defaulting, so "budget omitted" and "budget 30" share a cache entry.
-	if opts.Budget <= 0 {
-		opts.Budget = 30
-	}
-	if opts.RWR.Restart <= 0 || opts.RWR.Restart >= 1 {
-		opts.RWR.Restart = 0.15
-	}
-	if opts.MaxPathLen <= 0 {
-		opts.MaxPathLen = 10
-	}
-	if opts.Mode != extract.CombineKSoftAND {
-		opts.K = 0
+	}.Normalize()
+	if err != nil {
+		return p, http.StatusBadRequest, err
 	}
 	// Size and layout seed only shape the SVG rendering; keep them out of
 	// JSON keys so render-only parameters never duplicate JSON entries.
-	keySize, keySeed := size, req.Seed
-	if format == "json" {
+	// Parallel stays out of the key entirely: results are bit-identical
+	// for any pool size.
+	keySize, keySeed := p.size, p.seed
+	if p.format == "json" {
 		keySize, keySeed = 0, 0
 	}
-	key := sess.cacheKey(fmt.Sprintf("extract|src=%v|b=%d|c=%g|m=%d|k=%d|pl=%d|fmt=%s|sz=%g|seed=%d",
-		sources, opts.Budget, opts.RWR.Restart, opts.Mode, opts.K, opts.MaxPathLen, format, keySize, keySeed))
-	s.serveCached(w, key, func() ([]byte, string, int, error) {
-		var body []byte
-		var ctyp string
-		err := sess.withRead(func(eng *core.Engine) error {
-			res, err := eng.Extract(sources, opts)
-			if err != nil {
-				return err
-			}
-			if format == "svg" {
-				body, ctyp = []byte(core.RenderExtraction(res, size, req.Seed)), render.ContentType
-				return nil
-			}
-			body, ctyp = marshalJSON(extractToJSON(sess.name, res)), jsonContentType
-			return nil
-		})
+	p.key = sess.cacheKey(fmt.Sprintf("extract|src=%v|b=%d|c=%g|m=%d|k=%d|pl=%d|fmt=%s|sz=%g|seed=%d",
+		p.sources, p.opts.Budget, p.opts.RWR.Restart, p.opts.Mode, p.opts.K, p.opts.MaxPathLen,
+		p.format, keySize, keySeed))
+	return p, 0, nil
+}
+
+// buildExtract executes a plan against the session's engine, which runs the
+// solve on the engine's cached CSR (built once per session, shared by every
+// extraction), and renders the response body.
+func (s *Server) buildExtract(sess *Session, p extractPlan) ([]byte, string, int, error) {
+	var body []byte
+	var ctyp string
+	err := sess.withRead(func(eng *core.Engine) error {
+		res, err := eng.Extract(p.sources, p.opts)
 		if err != nil {
-			return nil, "", statusOf(err, http.StatusBadRequest), err
+			return err
 		}
-		return body, ctyp, 0, nil
+		if p.format == "svg" {
+			body, ctyp = []byte(core.RenderExtraction(res, p.size, p.seed)), render.ContentType
+			return nil
+		}
+		body, ctyp = marshalJSON(extractToJSON(sess.name, res)), jsonContentType
+		return nil
+	})
+	if err != nil {
+		return nil, "", statusOf(err, http.StatusBadRequest), err
+	}
+	return body, ctyp, 0, nil
+}
+
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req ExtractRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad extract body: %s", err)
+		return
+	}
+	p, status, err := s.planExtract(sess, req)
+	if err != nil {
+		writeError(w, status, "%s", err)
+		return
+	}
+	s.serveCached(w, p.key, func() ([]byte, string, int, error) {
+		return s.buildExtract(sess, p)
 	})
 }
 

@@ -18,6 +18,7 @@
 //	GET    /sessions/{id}/tree           hierarchy stats + community listing
 //	GET    /sessions/{id}/scene          Tomahawk scene (JSON or SVG)
 //	POST   /sessions/{id}/extract        multi-source connection subgraph
+//	POST   /sessions/{id}/extract/batch  many extractions through one worker pool
 //	GET    /sessions/{id}/analysis       SubgraphReport of a leaf community
 //	GET    /sessions/{id}/labels         exact or prefix label search
 package server
@@ -41,6 +42,9 @@ type Config struct {
 	// MaxBudget caps the extraction node budget a request may ask for
 	// (default 2000) so one query cannot monopolize the server.
 	MaxBudget int
+	// MaxBatch caps the number of extraction requests one batch call may
+	// carry (default 64).
+	MaxBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -56,6 +60,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBudget <= 0 {
 		c.MaxBudget = 2000
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
 	return c
 }
 
@@ -64,6 +71,7 @@ type Server struct {
 	cfg     Config
 	reg     *Registry
 	cache   *resultCache
+	flight  flightGroup
 	started time.Time
 	httpSrv *http.Server
 }
@@ -99,6 +107,7 @@ func (s *Server) Handler() http.Handler {
 	queries.HandleFunc("GET /sessions/{id}/tree", s.handleTree)
 	queries.HandleFunc("GET /sessions/{id}/scene", s.handleScene)
 	queries.HandleFunc("POST /sessions/{id}/extract", s.handleExtract)
+	queries.HandleFunc("POST /sessions/{id}/extract/batch", s.handleExtractBatch)
 	queries.HandleFunc("GET /sessions/{id}/analysis", s.handleAnalysis)
 	queries.HandleFunc("GET /sessions/{id}/labels", s.handleLabels)
 	timed := http.TimeoutHandler(queries, s.cfg.RequestTimeout,
