@@ -10,6 +10,7 @@
 package gmine_test
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -391,6 +392,48 @@ func BenchmarkRWRMultiFanout(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkExtractMemoryVsPaged contrasts one multi-source extraction on
+// the in-memory CSR against the out-of-core paged CSR at several buffer
+// pool sizes. The paged runs trade speed for bounded resident adjacency:
+// a pool far smaller than the CSR section still answers the query, just
+// with more page churn (watch evictions grow as the pool shrinks).
+func BenchmarkExtractMemoryVsPaged(b *testing.B) {
+	setup(b)
+	sources := []gmine.NodeID{
+		benchDS.Notables[gmine.NamePhilipYu],
+		benchDS.Notables[gmine.NameFlipKorn],
+		benchDS.Notables[gmine.NameGarofalakis],
+	}
+	opts := gmine.ExtractOptions{Budget: 30}
+	b.Run("MemoryCSR", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := benchEng.Extract(sources, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, pool := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("Paged/pool=%d", pool), func(b *testing.B) {
+			disk, err := gmine.Open(benchTree, pool)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer disk.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := disk.Extract(sources, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := disk.Store().PoolInfo()
+			b.ReportMetric(float64(st.Evictions)/float64(b.N), "evictions/op")
 		})
 	}
 }

@@ -26,6 +26,7 @@ func cmdServe(args []string) error {
 	synthetic := fs.Float64("synthetic", 0, "preload a synthetic DBLP session at this scale (0 = none)")
 	in := fs.String("in", "", "preload a session from this edge list")
 	tree := fs.String("tree", "", "preload a disk-backed session from this G-Tree file")
+	pool := fs.Int("pool", 0, "buffer-pool pages for the preloaded -tree session (0 = default); bounds resident paged-graph memory")
 	seed := fs.Int64("seed", 1, "seed for the preloaded session")
 	k := fs.Int("k", 5, "hierarchy fanout for preloaded memory sessions")
 	levels := fs.Int("levels", 5, "hierarchy levels for preloaded memory sessions")
@@ -53,7 +54,7 @@ func cmdServe(args []string) error {
 			Seed: *seed, K: *k, Levels: *levels,
 		}
 	case *tree != "":
-		preload = &server.CreateSessionRequest{Name: *name, Source: "gtree", Path: *tree}
+		preload = &server.CreateSessionRequest{Name: *name, Source: "gtree", Path: *tree, PoolPages: *pool}
 	}
 	if preload != nil {
 		begin := time.Now()

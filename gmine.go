@@ -30,8 +30,22 @@ func NewGraphWithNodes(n int, directed bool) *Graph { return graph.NewWithNodes(
 // Induced returns the subgraph induced by nodes plus the id mapping.
 func Induced(g *Graph, nodes []NodeID) (*Graph, []NodeID) { return graph.Induced(g, nodes) }
 
-// CSR is the compressed-sparse-row view used by the algorithm kernels.
+// CSR is the in-memory compressed-sparse-row view used by the algorithm
+// kernels.
 type CSR = graph.CSR
+
+// Adjacency is the read-only neighbor-structure interface every kernel
+// consumes; *CSR implements it in memory and disk-backed engines serve a
+// paged implementation bounded by their buffer pool (see Engine.Adj).
+type Adjacency = graph.Adjacency
+
+// PagedCSR is the disk-backed Adjacency over a v2 G-Tree file's CSR
+// section, reading neighbor ranges through the buffer pool.
+type PagedCSR = gtree.PagedCSR
+
+// ErrNoCSR reports a disk-backed engine opened from a v1 G-Tree file,
+// which has no CSR section: re-save the tree to enable extraction.
+var ErrNoCSR = core.ErrNoCSR
 
 // ToCSR converts a graph to CSR form.
 func ToCSR(g *Graph) *CSR { return graph.ToCSR(g) }
@@ -161,9 +175,17 @@ func ConnectionSubgraph(g *Graph, sources []NodeID, opts ExtractOptions) (*Extra
 // ConnectionSubgraphCSR is ConnectionSubgraph with a caller-supplied CSR,
 // so repeated interactive queries over one graph reuse a single immutable
 // compute representation (Engine.Extract does this automatically via its
-// cached CSR).
+// shared adjacency).
 func ConnectionSubgraphCSR(g *Graph, c *CSR, sources []NodeID, opts ExtractOptions) (*ExtractResult, error) {
 	return extract.ConnectionSubgraphCSR(g, c, sources, opts)
+}
+
+// ConnectionSubgraphAdj is the extraction core over any Adjacency — in
+// memory or paged from disk — with directedness and an optional label
+// lookup supplied by the caller. Results are bit-identical across
+// backends over the same graph.
+func ConnectionSubgraphAdj(adj Adjacency, directed bool, labelOf func(NodeID) string, sources []NodeID, opts ExtractOptions) (*ExtractResult, error) {
+	return extract.ConnectionSubgraphAdj(adj, directed, labelOf, sources, opts)
 }
 
 // RWRPower computes the exact random walk with restart by power
@@ -198,11 +220,15 @@ func AnalysisReport(g *Graph, hopSamples int, seed int64) SubgraphReport {
 	return analysis.Report(g, hopSamples, seed)
 }
 
-// PageRank, components, hops and degree helpers. PageRankCSR runs on a
-// prebuilt CSR (see Engine.CSR) instead of converting per call.
+// PageRank, components, hops and degree helpers. PageRankAdj runs on any
+// prebuilt Adjacency instead of converting per call; PageRankCSR is its
+// historical concrete-CSR name. For disk-backed engines prefer
+// Engine.PageRank, which adds the paged-fault epoch check around the
+// iteration.
 var (
 	PageRank           = analysis.PageRank
 	PageRankCSR        = analysis.PageRankCSR
+	PageRankAdj        = analysis.PageRankAdj
 	WeakComponents     = analysis.WeakComponents
 	StrongComponents   = analysis.StrongComponents
 	DegreeDistribution = analysis.DegreeDistribution

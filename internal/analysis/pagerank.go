@@ -33,17 +33,27 @@ func (o PageRankOptions) withDefaults() PageRankOptions {
 // PageRank computes the PageRank vector by power iteration, weighting
 // transitions by edge weight. Dangling nodes redistribute uniformly. The
 // result sums to 1. It converts g to CSR form first; callers holding a
-// cached CSR (core.Engine) should use PageRankCSR directly.
+// cached adjacency (core.Engine) should use PageRankAdj directly.
 func PageRank(g *graph.Graph, opts PageRankOptions) []float64 {
-	return PageRankCSR(graph.ToCSR(g), opts)
+	return PageRankAdj(graph.ToCSR(g), opts)
 }
 
-// PageRankCSR is PageRank over a prebuilt CSR, so repeated analysis queries
-// against one graph share a single immutable compute representation instead
-// of re-deriving it per call.
+// PageRankCSR is PageRankAdj under its historical name, kept for callers
+// holding a concrete *graph.CSR.
 func PageRankCSR(c *graph.CSR, opts PageRankOptions) []float64 {
+	return PageRankAdj(c, opts)
+}
+
+// PageRankAdj is PageRank over any prebuilt Adjacency — the engine's cached
+// in-memory CSR or a disk-backed paged CSR — so repeated analysis queries
+// against one graph share a single immutable compute representation instead
+// of re-deriving it per call. A paged adjacency cannot surface I/O faults
+// through the Adjacency methods; callers running directly over one must
+// bracket the call with its Faults/ErrSince epoch check (core.Engine's
+// PageRank does this — prefer it for disk-backed engines).
+func PageRankAdj(c graph.Adjacency, opts PageRankOptions) []float64 {
 	opts = opts.withDefaults()
-	n := c.N
+	n := c.N()
 	if n == 0 {
 		return nil
 	}

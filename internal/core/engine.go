@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -75,8 +76,9 @@ func BuildEngine(g *graph.Graph, cfg BuildConfig) (*Engine, error) {
 	return &Engine{g: g, tree: t, focus: t.Root()}, nil
 }
 
-// SaveTree persists the engine's G-Tree (with leaf subgraphs and label
-// index) into a single page file. Only memory-backed engines can save.
+// SaveTree persists the engine's G-Tree (leaf subgraphs, label index and
+// the graph's paged CSR section, format v2) into a single page file. Only
+// memory-backed engines can save.
 func (e *Engine) SaveTree(path string, pageSize int) error {
 	if e.g == nil {
 		return fmt.Errorf("core: disk-backed engine cannot re-save")
@@ -110,22 +112,37 @@ func (e *Engine) Tree() *gtree.Tree { return e.tree }
 // engines.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
-// CSR returns the engine's cached compressed-sparse-row view of the graph,
-// building it on first use (sync.Once-guarded, so concurrent query readers
-// share one build). The CSR is immutable; no query path rebuilds it per
-// request. Returns nil for disk-backed engines, whose full graph is not
-// resident.
-func (e *Engine) CSR() *graph.CSR {
-	if e.g == nil {
-		return nil
+// ErrNoCSR reports a disk-backed engine whose G-Tree file predates format
+// v2 and therefore has no paged CSR section: navigation, leaf loading and
+// label queries work, but whole-graph queries (extraction) cannot until
+// the tree is re-saved with the current version. (Alias of gtree.ErrNoCSR
+// so errors.Is matches across layers.)
+var ErrNoCSR = gtree.ErrNoCSR
+
+// ErrPagedIO wraps an I/O or corruption fault hit while a query paged the
+// graph from disk. It marks a backend (5xx-class) failure: the request
+// was well-formed, the store misbehaved.
+var ErrPagedIO = errors.New("core: paged graph read failed")
+
+// Adj returns the engine's shared adjacency view of the full graph — the
+// single compute representation every extraction and analysis kernel
+// reads. Memory-backed engines lazily build one in-memory CSR
+// (sync.Once-guarded, so concurrent query readers share one build);
+// disk-backed engines return the store's paged CSR, which pages neighbor
+// ranges through the buffer pool so resident adjacency memory is bounded
+// by the pool, not the graph. Returns ErrNoCSR for disk-backed engines
+// opened from a v1 file.
+func (e *Engine) Adj() (graph.Adjacency, error) {
+	if e.g != nil {
+		e.csrOnce.Do(func() {
+			e.csr = graph.ToCSR(e.g)
+			// Warm the weighted-degree table too: every RWR solve needs it,
+			// and building it here keeps query-time work purely read-only.
+			e.csr.WeightedDegrees()
+		})
+		return e.csr, nil
 	}
-	e.csrOnce.Do(func() {
-		e.csr = graph.ToCSR(e.g)
-		// Warm the weighted-degree table too: every RWR solve needs it,
-		// and building it here keeps query-time work purely read-only.
-		e.csr.WeightedDegrees()
-	})
-	return e.csr
+	return e.store.PagedCSR()
 }
 
 // Store returns the backing store of disk-backed engines (nil otherwise).
@@ -316,29 +333,99 @@ func (e *Engine) SearchLabelPrefix(prefix string, limit int) ([]LabelHit, error)
 
 // --- Extraction --------------------------------------------------------------
 
-// Extract runs the multi-source connection subgraph extraction (§IV) on
-// the resident graph. Disk-backed engines cannot extract (the full graph
-// is not resident); rebuild from the source graph for extraction queries.
+// Extract runs the multi-source connection subgraph extraction (§IV) over
+// the engine's shared adjacency. Memory-backed engines solve on the
+// resident CSR; disk-backed engines solve out of core on the paged CSR,
+// with bit-identical results over the same graph. Disk-backed engines
+// opened from a v1 file (no CSR section) return ErrNoCSR.
 func (e *Engine) Extract(sources []graph.NodeID, opts extract.Options) (*extract.Result, error) {
-	if e.g == nil {
-		return nil, fmt.Errorf("core: extraction needs a memory-backed engine")
+	adj, err := e.Adj()
+	if err != nil {
+		return nil, err
 	}
-	return extract.ConnectionSubgraphCSR(e.g, e.CSR(), sources, opts)
+	// A paged adjacency cannot surface I/O faults through the Adjacency
+	// methods; it counts them instead. Snapshot the fault epoch, solve,
+	// and discard the result if any fault landed in between — the epoch
+	// protocol is per-query, so concurrent extractions on the shared view
+	// cannot steal each other's faults, and a transient fault fails only
+	// the queries that overlapped it, not the session.
+	paged, isPaged := adj.(*gtree.PagedCSR)
+	var epoch uint64
+	if isPaged {
+		// Labels annotate the result through an error-less lookup; load
+		// the index up front so a failed read fails the query instead of
+		// silently stripping labels.
+		if err := e.store.PreloadLabels(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPagedIO, err)
+		}
+		epoch = paged.Faults()
+	}
+	res, err := extract.ConnectionSubgraphAdj(adj, e.directed(), e.labelOf(), sources, opts)
+	if err != nil {
+		return nil, err
+	}
+	if isPaged {
+		if perr := paged.ErrSince(epoch); perr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPagedIO, perr)
+		}
+	}
+	return res, nil
+}
+
+// PageRank runs weighted PageRank over the engine's whole graph through
+// the shared adjacency — out of core on disk-backed engines — with the
+// same fault discipline as Extract: any paged read fault during the
+// iteration fails the call instead of returning a silently wrong vector.
+func (e *Engine) PageRank(opts analysis.PageRankOptions) ([]float64, error) {
+	adj, err := e.Adj()
+	if err != nil {
+		return nil, err
+	}
+	paged, isPaged := adj.(*gtree.PagedCSR)
+	var epoch uint64
+	if isPaged {
+		epoch = paged.Faults()
+	}
+	ranks := analysis.PageRankAdj(adj, opts)
+	if isPaged {
+		if perr := paged.ErrSince(epoch); perr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrPagedIO, perr)
+		}
+	}
+	return ranks, nil
+}
+
+// directed reports the edge semantics of the engine's graph.
+func (e *Engine) directed() bool {
+	if e.g != nil {
+		return e.g.Directed()
+	}
+	return e.store.Directed()
+}
+
+// labelOf returns the node-label lookup backing extraction output labels.
+func (e *Engine) labelOf() func(graph.NodeID) string {
+	if e.g != nil {
+		return e.g.Label
+	}
+	return e.store.LabelOf
 }
 
 // ExtractByLabels resolves labels to nodes and extracts their connection
-// subgraph.
+// subgraph. Works on both backends: memory-backed engines scan the
+// resident labels, disk-backed ones use the persisted label index (both
+// resolve a label to its lowest matching node id).
 func (e *Engine) ExtractByLabels(labels []string, opts extract.Options) (*extract.Result, error) {
-	if e.g == nil {
-		return nil, fmt.Errorf("core: extraction needs a memory-backed engine")
-	}
 	var sources []graph.NodeID
 	for _, l := range labels {
-		id := e.g.FindLabel(l)
-		if id < 0 {
+		hits, err := e.FindLabel(l)
+		if err != nil {
+			return nil, err
+		}
+		if len(hits) == 0 {
 			return nil, fmt.Errorf("core: label %q not found", l)
 		}
-		sources = append(sources, id)
+		sources = append(sources, hits[0].Node)
 	}
 	return e.Extract(sources, opts)
 }

@@ -9,42 +9,49 @@ import (
 	"repro/internal/graph"
 )
 
-// TestEngineCSRBuiltOnce checks the engine's CSR is lazily built exactly
-// once and shared: every call — including concurrent ones, mirroring the
-// server's read-locked query handlers — returns the same instance.
-func TestEngineCSRBuiltOnce(t *testing.T) {
+// TestEngineAdjBuiltOnce checks the engine's adjacency is lazily built
+// exactly once and shared: every call — including concurrent ones,
+// mirroring the server's read-locked query handlers — returns the same
+// instance.
+func TestEngineAdjBuiltOnce(t *testing.T) {
 	ds := dblp.SmallFixture()
 	eng, err := BuildEngine(ds.Graph, BuildConfig{K: 3, Levels: 3, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	first := eng.CSR()
+	first, err := eng.Adj()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if first == nil {
-		t.Fatal("memory-backed engine returned nil CSR")
+		t.Fatal("memory-backed engine returned nil adjacency")
 	}
 	var wg sync.WaitGroup
-	got := make([]*graph.CSR, 16)
+	got := make([]graph.Adjacency, 16)
 	for i := range got {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got[i] = eng.CSR()
+			got[i], _ = eng.Adj()
 		}(i)
 	}
 	wg.Wait()
 	for i, c := range got {
 		if c != first {
-			t.Fatalf("call %d returned a different CSR instance", i)
+			t.Fatalf("call %d returned a different adjacency instance", i)
 		}
 	}
-	if first.N != ds.Graph.NumNodes() {
-		t.Fatalf("CSR has %d nodes, graph has %d", first.N, ds.Graph.NumNodes())
+	if first.N() != ds.Graph.NumNodes() {
+		t.Fatalf("adjacency has %d nodes, graph has %d", first.N(), ds.Graph.NumNodes())
+	}
+	if _, ok := first.(*graph.CSR); !ok {
+		t.Fatalf("memory-backed adjacency is %T, want *graph.CSR", first)
 	}
 }
 
-// TestEngineExtractUsesCachedCSR checks extraction through the engine
+// TestEngineExtractUsesCachedAdj checks extraction through the engine
 // agrees with the stand-alone path (which converts per call).
-func TestEngineExtractUsesCachedCSR(t *testing.T) {
+func TestEngineExtractUsesCachedAdj(t *testing.T) {
 	ds := dblp.SmallFixture()
 	eng, err := BuildEngine(ds.Graph, BuildConfig{K: 3, Levels: 3, Seed: 1})
 	if err != nil {
@@ -67,9 +74,9 @@ func TestEngineExtractUsesCachedCSR(t *testing.T) {
 	}
 }
 
-// TestDiskBackedEngineCSRNil checks disk-backed engines (no resident
-// graph) report no CSR instead of panicking.
-func TestDiskBackedEngineCSRNil(t *testing.T) {
+// TestDiskBackedEngineAdj checks a disk-backed engine opened from a
+// current (v2) file serves one shared paged adjacency instead of nil.
+func TestDiskBackedEngineAdj(t *testing.T) {
 	ds := dblp.SmallFixture()
 	eng, err := BuildEngine(ds.Graph, BuildConfig{K: 3, Levels: 3, Seed: 1})
 	if err != nil {
@@ -84,7 +91,18 @@ func TestDiskBackedEngineCSRNil(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer disk.Close()
-	if disk.CSR() != nil {
-		t.Fatal("disk-backed engine returned a CSR")
+	adj, err := disk.Adj()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adj.N() != ds.Graph.NumNodes() {
+		t.Fatalf("paged adjacency has %d nodes, graph has %d", adj.N(), ds.Graph.NumNodes())
+	}
+	again, err := disk.Adj()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != adj {
+		t.Fatal("disk-backed adjacency not shared across calls")
 	}
 }

@@ -78,9 +78,20 @@ func ConnectionSubgraph(g *graph.Graph, sources []graph.NodeID, opts Options) (*
 // ConnectionSubgraphCSR is ConnectionSubgraph with a caller-supplied CSR of
 // g, letting the hot query path reuse one immutable CSR across requests
 // instead of rebuilding it per extraction. c must be the CSR form of g
-// (same node ids, both half-edges); the graph is still needed for node
-// validation and for inducing the labeled output subgraph.
+// (same node ids, both half-edges).
 func ConnectionSubgraphCSR(g *graph.Graph, c *graph.CSR, sources []graph.NodeID, opts Options) (*Result, error) {
+	return ConnectionSubgraphAdj(c, g.Directed(), g.Label, sources, opts)
+}
+
+// ConnectionSubgraphAdj is the extraction core over any graph.Adjacency —
+// the in-memory CSR or a disk-backed paged CSR, which is how out-of-core
+// engines answer extraction queries with resident adjacency memory bounded
+// by the buffer pool. directed gives the adjacency's edge semantics
+// (half-edge pairs are collapsed when false); labelOf, if non-nil, supplies
+// node labels for the output subgraph. The algorithm reads the adjacency
+// identically for every implementation, so results are bit-identical
+// across backends over the same graph.
+func ConnectionSubgraphAdj(adj graph.Adjacency, directed bool, labelOf func(graph.NodeID) string, sources []graph.NodeID, opts Options) (*Result, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return nil, err
@@ -88,10 +99,11 @@ func ConnectionSubgraphCSR(g *graph.Graph, c *graph.CSR, sources []graph.NodeID,
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("extract: need at least one source")
 	}
+	n := adj.N()
 	seen := map[graph.NodeID]bool{}
 	for _, s := range sources {
-		if err := g.CheckNode(s); err != nil {
-			return nil, err
+		if s < 0 || int(s) >= n {
+			return nil, fmt.Errorf("extract: source %d out of range (n=%d)", s, n)
 		}
 		if seen[s] {
 			return nil, fmt.Errorf("extract: duplicate source %d", s)
@@ -101,7 +113,7 @@ func ConnectionSubgraphCSR(g *graph.Graph, c *graph.CSR, sources []graph.NodeID,
 	if opts.Budget < len(sources) {
 		return nil, fmt.Errorf("extract: budget %d below source count %d", opts.Budget, len(sources))
 	}
-	rwr, err := RWRMulti(c, sources, opts.RWR)
+	rwr, err := RWRMulti(adj, sources, opts.RWR)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +121,6 @@ func ConnectionSubgraphCSR(g *graph.Graph, c *graph.CSR, sources []graph.NodeID,
 
 	// logGood[v] = log goodness, -Inf for zero; the DP maximizes the sum
 	// of log-goodness over path nodes (product of goodness).
-	n := g.NumNodes()
 	logGood := make([]float64, n)
 	for v := range logGood {
 		if goodness[v] > 0 {
@@ -131,17 +142,13 @@ func ConnectionSubgraphCSR(g *graph.Graph, c *graph.CSR, sources []graph.NodeID,
 		add(s)
 	}
 
+	// Destinations come from the pruned top-k queue: one O(n log budget)
+	// selection replaces a full O(n) rescan per destination, yielding the
+	// same sequence the naive argmax scan would (see destQueue).
+	dests := newDestQueue(goodness, opts.Budget)
 	iterations := 0
 	for len(chosen) < opts.Budget {
-		// Pick the best destination not yet in H.
-		pd := graph.NodeID(-1)
-		best := 0.0
-		for v := 0; v < n; v++ {
-			if !inH[v] && goodness[v] > best {
-				best = goodness[v]
-				pd = graph.NodeID(v)
-			}
-		}
+		pd := dests.nextDest(inH)
 		if pd < 0 {
 			break // no positive-goodness node remains
 		}
@@ -150,7 +157,7 @@ func ConnectionSubgraphCSR(g *graph.Graph, c *graph.CSR, sources []graph.NodeID,
 			if len(chosen) >= opts.Budget {
 				break
 			}
-			for _, u := range keyPath(c, s, pd, logGood, opts.MaxPathLen) {
+			for _, u := range keyPath(adj, s, pd, logGood, opts.MaxPathLen) {
 				if !inH[u] {
 					if len(chosen) >= opts.Budget {
 						break
@@ -159,23 +166,19 @@ func ConnectionSubgraphCSR(g *graph.Graph, c *graph.CSR, sources []graph.NodeID,
 				}
 			}
 		}
+		// pd never repeats as a destination (the queue's cursor moved past
+		// it), so the loop performs at most budget iterations.
 		if !inH[pd] && len(chosen) < opts.Budget {
 			add(pd)
 		}
-		// pd never repeats as a destination (its goodness is zeroed here,
-		// even when no path reached it, e.g. a disconnected source), so
-		// the loop performs at most n iterations.
-		goodness[pd] = 0
 	}
 
-	sub, mapping := graph.Induced(g, chosen)
+	sub, mapping := inducedFromAdj(adj, directed, labelOf, chosen)
 	res := &Result{Subgraph: sub, Nodes: mapping, Iterations: iterations}
-	// Recompute goodness (the loop zeroed destination entries).
-	finalGood := Goodness(rwr, opts.Mode, opts.K)
 	res.Goodness = make([]float64, len(mapping))
 	for i, u := range mapping {
-		res.Goodness[i] = finalGood[u]
-		res.TotalGoodness += finalGood[u]
+		res.Goodness[i] = goodness[u]
+		res.TotalGoodness += goodness[u]
 	}
 	local := make(map[graph.NodeID]graph.NodeID, len(mapping))
 	for i, u := range mapping {
@@ -187,12 +190,62 @@ func ConnectionSubgraphCSR(g *graph.Graph, c *graph.CSR, sources []graph.NodeID,
 	return res, nil
 }
 
+// inducedFromAdj mirrors graph.Induced over an Adjacency: the subgraph of
+// the chosen nodes in order of first appearance, each undirected half-edge
+// pair collapsed to one logical edge, labels carried when labelOf is set.
+// Keeping the construction identical to graph.Induced is what makes
+// extraction results byte-for-byte equal across memory and paged backends;
+// TestInducedFromAdjMatchesGraphInduced pins the two against each other,
+// so edit either in lockstep (internal/graph/subgraph.go).
+//
+// One deliberate difference: labels are set only when non-empty, so a
+// labeled graph whose chosen nodes all carry empty labels yields
+// Subgraph.Labeled()==false (graph.Induced reports true there). A paged
+// backend cannot observe "labeled but all-empty" — its index stores only
+// non-empty labels — and cross-backend bit-identity outranks that
+// degenerate case.
+func inducedFromAdj(adj graph.Adjacency, directed bool, labelOf func(graph.NodeID) string, nodes []graph.NodeID) (*graph.Graph, []graph.NodeID) {
+	old2new := make(map[graph.NodeID]graph.NodeID, len(nodes))
+	var new2old []graph.NodeID
+	for _, u := range nodes {
+		if _, ok := old2new[u]; ok {
+			continue
+		}
+		old2new[u] = graph.NodeID(len(new2old))
+		new2old = append(new2old, u)
+	}
+	sub := graph.NewWithNodes(len(new2old), directed)
+	if labelOf != nil {
+		for nu, ou := range new2old {
+			if l := labelOf(ou); l != "" {
+				sub.SetLabel(graph.NodeID(nu), l)
+			}
+		}
+	}
+	for nu, ou := range new2old {
+		nbrs, ws := adj.Neighbors(ou)
+		for i, v := range nbrs {
+			nv, ok := old2new[v]
+			if !ok {
+				continue
+			}
+			// Undirected adjacency stores both half-edges; keep each
+			// logical edge once (self-loops are stored once already).
+			if !directed && v < ou {
+				continue
+			}
+			sub.AddEdge(graph.NodeID(nu), nv, ws[i])
+		}
+	}
+	return sub, new2old
+}
+
 // keyPath finds a high-goodness path from src to dst with at most maxLen
 // edges by dynamic programming: dp[l][v] = best sum of log-goodness over
 // the nodes of a walk of exactly l edges from src to v. Returns the node
 // sequence src..dst, or nil if dst is unreachable within maxLen.
-func keyPath(c *graph.CSR, src, dst graph.NodeID, logGood []float64, maxLen int) []graph.NodeID {
-	n := c.N
+func keyPath(c graph.Adjacency, src, dst graph.NodeID, logGood []float64, maxLen int) []graph.NodeID {
+	n := c.N()
 	negInf := math.Inf(-1)
 	prev := make([]float64, n)
 	cur := make([]float64, n)

@@ -1,0 +1,179 @@
+package extract
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// naiveNextDest is the pre-pruning destination selection: a full argmax
+// scan over every node not in H, zeroing the pick so it never repeats.
+// Kept as the reference the pruned queue must reproduce exactly.
+func naiveNextDest(goodness []float64, inH []bool) graph.NodeID {
+	pd := graph.NodeID(-1)
+	best := 0.0
+	for v := range goodness {
+		if !inH[v] && goodness[v] > best {
+			best = goodness[v]
+			pd = graph.NodeID(v)
+		}
+	}
+	if pd >= 0 {
+		goodness[pd] = 0
+	}
+	return pd
+}
+
+// TestDestQueueMatchesNaiveScan drives both selectors through randomized
+// extraction-shaped episodes — H grows by the destination plus random
+// "path" nodes each round, destinations are requested only while
+// |H| < budget — and requires identical destination sequences, including
+// duplicate scores (ties broken by id) and zero/negative entries.
+func TestDestQueueMatchesNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(60)
+		budget := 1 + rng.Intn(n+5) // may exceed n
+		goodness := make([]float64, n)
+		for v := range goodness {
+			switch rng.Intn(4) {
+			case 0:
+				goodness[v] = 0
+			case 1:
+				goodness[v] = float64(rng.Intn(4)) / 8 // frequent exact ties
+			default:
+				goodness[v] = rng.Float64()
+			}
+		}
+		naiveGood := append([]float64(nil), goodness...)
+		q := newDestQueue(goodness, budget)
+		inH := make([]bool, n)
+		sizeH := 0
+		grow := func(u graph.NodeID) {
+			if !inH[u] {
+				inH[u] = true
+				sizeH++
+			}
+		}
+		// Seed H like the sources do.
+		for i := 0; i < 1+rng.Intn(3) && sizeH < budget; i++ {
+			grow(graph.NodeID(rng.Intn(n)))
+		}
+		for sizeH < budget {
+			want := naiveNextDest(naiveGood, inH)
+			got := q.nextDest(inH)
+			if got != want {
+				t.Fatalf("trial %d: pruned pick %d, naive pick %d (|H|=%d budget=%d)", trial, got, want, sizeH, budget)
+			}
+			if got < 0 {
+				break
+			}
+			// Simulate key paths adding arbitrary nodes before the
+			// destination itself joins H.
+			for i := 0; i < rng.Intn(3) && sizeH < budget; i++ {
+				grow(graph.NodeID(rng.Intn(n)))
+			}
+			if sizeH < budget {
+				grow(got)
+			}
+		}
+	}
+}
+
+// TestPrunedExtractionMatchesFullScan pins result-equivalence end to end:
+// the production extraction (pruned queue) against a local reimplementation
+// of the original full-scan loop, over random graphs and option mixes.
+func TestPrunedExtractionMatchesFullScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(60)
+		g := graph.NewWithNodes(n, false)
+		for i := 0; i < n*3; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			g.AddEdge(u, v, 1+rng.Float64())
+		}
+		g.Dedup()
+		srcSet := map[graph.NodeID]bool{}
+		for len(srcSet) < 2+rng.Intn(2) {
+			srcSet[graph.NodeID(rng.Intn(n))] = true
+		}
+		var sources []graph.NodeID
+		for s := range srcSet {
+			sources = append(sources, s)
+		}
+		opts := Options{Budget: 5 + rng.Intn(15), Mode: CombineMode(trial % 3), K: 2}
+		got, err := ConnectionSubgraph(g, sources, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fullScanExtract(t, g, sources, opts)
+		if len(got.Nodes) != len(want) {
+			t.Fatalf("trial %d: %d nodes, full scan chose %d", trial, len(got.Nodes), len(want))
+		}
+		for i := range want {
+			if got.Nodes[i] != want[i] {
+				t.Fatalf("trial %d: node %d is %d, full scan chose %d", trial, i, got.Nodes[i], want[i])
+			}
+		}
+	}
+}
+
+// fullScanExtract reruns the extraction loop with the original O(n)
+// destination scan and returns the chosen node sequence.
+func fullScanExtract(t *testing.T, g *graph.Graph, sources []graph.NodeID, opts Options) []graph.NodeID {
+	t.Helper()
+	opts, err := opts.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := graph.ToCSR(g)
+	rwr, err := RWRMulti(c, sources, opts.RWR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodness := Goodness(rwr, opts.Mode, opts.K)
+	logGood := make([]float64, c.N())
+	for v := range logGood {
+		if goodness[v] > 0 {
+			logGood[v] = math.Log(goodness[v])
+		} else {
+			logGood[v] = math.Inf(-1)
+		}
+	}
+	inH := make([]bool, c.N())
+	var chosen []graph.NodeID
+	add := func(u graph.NodeID) {
+		if !inH[u] {
+			inH[u] = true
+			chosen = append(chosen, u)
+		}
+	}
+	for _, s := range sources {
+		add(s)
+	}
+	for len(chosen) < opts.Budget {
+		pd := naiveNextDest(goodness, inH)
+		if pd < 0 {
+			break
+		}
+		for _, s := range sources {
+			if len(chosen) >= opts.Budget {
+				break
+			}
+			for _, u := range keyPath(c, s, pd, logGood, opts.MaxPathLen) {
+				if !inH[u] {
+					if len(chosen) >= opts.Budget {
+						break
+					}
+					add(u)
+				}
+			}
+		}
+		if !inH[pd] && len(chosen) < opts.Budget {
+			add(pd)
+		}
+	}
+	return chosen
+}

@@ -18,8 +18,8 @@ import (
 // epsilon controls accuracy: on exit every node satisfies
 // residual[u] <= epsilon * wdeg(u), giving the standard L1 guarantee
 // |approx - exact| bounded by epsilon per unit degree.
-func RWRPush(c *graph.CSR, src graph.NodeID, restart, epsilon float64) ([]float64, error) {
-	n := c.N
+func RWRPush(c graph.Adjacency, src graph.NodeID, restart, epsilon float64) ([]float64, error) {
+	n := c.N()
 	if src < 0 || int(src) >= n {
 		return nil, fmt.Errorf("extract: source %d out of range (n=%d)", src, n)
 	}
@@ -85,7 +85,7 @@ func RWRPush(c *graph.CSR, src graph.NodeID, restart, epsilon float64) ([]float6
 }
 
 // RWRMultiPush runs the push approximation independently per source.
-func RWRMultiPush(c *graph.CSR, sources []graph.NodeID, restart, epsilon float64) ([][]float64, error) {
+func RWRMultiPush(c graph.Adjacency, sources []graph.NodeID, restart, epsilon float64) ([][]float64, error) {
 	out := make([][]float64, len(sources))
 	for i, s := range sources {
 		p, err := RWRPush(c, s, restart, epsilon)

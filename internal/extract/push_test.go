@@ -22,7 +22,7 @@ func TestRWRPushApproximatesPowerIteration(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Pointwise error bounded by epsilon * wdeg.
-	for u := 0; u < c.N; u++ {
+	for u := 0; u < c.N(); u++ {
 		bound := 1e-9*c.WeightedDegree(graph.NodeID(u)) + 1e-9
 		if d := math.Abs(exact[u] - approx[u]); d > bound*2 {
 			t.Fatalf("node %d: |%g - %g| = %g exceeds bound", u, exact[u], approx[u], d)

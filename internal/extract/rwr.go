@@ -65,18 +65,18 @@ func (o RWROptions) Normalize() (RWROptions, error) {
 // restarting at src: r = (1-c)·Pᵀr + c·e_src, where P is the row-stochastic
 // transition matrix weighted by edge weight. The result sums to 1 when src
 // can always move (isolated sources keep all mass).
-func RWR(c *graph.CSR, src graph.NodeID, opts RWROptions) ([]float64, error) {
+func RWR(c graph.Adjacency, src graph.NodeID, opts RWROptions) ([]float64, error) {
 	return RWRSet(c, []graph.NodeID{src}, opts)
 }
 
 // RWRSet computes RWR with the restart mass spread uniformly over a source
 // set (the particle teleports to a random member of the set).
-func RWRSet(c *graph.CSR, sources []graph.NodeID, opts RWROptions) ([]float64, error) {
+func RWRSet(c graph.Adjacency, sources []graph.NodeID, opts RWROptions) ([]float64, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return nil, err
 	}
-	n := c.N
+	n := c.N()
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("extract: RWR needs at least one source")
 	}
@@ -137,7 +137,7 @@ func RWRSet(c *graph.CSR, sources []graph.NodeID, opts RWROptions) ([]float64, e
 // bounded worker pool of opts.Parallel goroutines (default GOMAXPROCS);
 // every walk is independent and deterministic, so the output is
 // bit-identical to the serial order for any pool size.
-func RWRMulti(c *graph.CSR, sources []graph.NodeID, opts RWROptions) ([][]float64, error) {
+func RWRMulti(c graph.Adjacency, sources []graph.NodeID, opts RWROptions) ([][]float64, error) {
 	opts, err := opts.Normalize()
 	if err != nil {
 		return nil, err
@@ -145,8 +145,8 @@ func RWRMulti(c *graph.CSR, sources []graph.NodeID, opts RWROptions) ([][]float6
 	// Validate every source up front so the parallel path reports the same
 	// (first-in-order) error the serial path would.
 	for _, s := range sources {
-		if s < 0 || int(s) >= c.N {
-			return nil, fmt.Errorf("extract: source %d out of range (n=%d)", s, c.N)
+		if s < 0 || int(s) >= c.N() {
+			return nil, fmt.Errorf("extract: source %d out of range (n=%d)", s, c.N())
 		}
 	}
 	out := make([][]float64, len(sources))

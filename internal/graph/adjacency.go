@@ -1,0 +1,31 @@
+package graph
+
+// Adjacency is the read-only view of a graph's neighbor structure that the
+// algorithm kernels (RWR, residual push, goodness, key paths, PageRank)
+// consume. Two implementations exist: the in-memory *CSR and the
+// disk-backed gtree.PagedCSR, which reads neighbor ranges through the
+// storage buffer pool so the resident adjacency memory is bounded by the
+// pool size instead of the graph size.
+//
+// Implementations must be safe for concurrent readers: the extraction
+// worker pool calls Neighbors from several goroutines at once. Callers
+// must not mutate any returned slice.
+type Adjacency interface {
+	// N returns the number of nodes.
+	N() int
+	// Degree returns the number of stored half-edges at u.
+	Degree(u NodeID) int
+	// Neighbors returns the neighbor ids and parallel edge weights of u.
+	// The slices may alias internal storage (in-memory CSR) or be fresh
+	// copies (paged CSR); either way they are read-only to the caller and
+	// only valid until the next call on the same goroutine.
+	Neighbors(u NodeID) ([]NodeID, []float64)
+	// WeightedDegrees returns the per-node weighted degree table (cached
+	// after the first call).
+	WeightedDegrees() []float64
+	// HalfEdges returns the number of stored half-edges (2E for undirected
+	// graphs, E for directed ones).
+	HalfEdges() int
+}
+
+var _ Adjacency = (*CSR)(nil)

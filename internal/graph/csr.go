@@ -14,22 +14,25 @@ import "sync"
 // reads it concurrently). Do not copy a CSR by value: the lazily cached
 // weighted-degree table carries a sync.Once.
 type CSR struct {
-	N      int
-	Xadj   []int32   // len N+1; Adjncy[Xadj[u]:Xadj[u+1]] are u's neighbors
-	Adjncy []NodeID  // concatenated neighbor lists
-	EdgeW  []float64 // parallel to Adjncy
-	NodeW  []int32   // len N; defaults to all-ones
+	NumNodes int       // exposed as N() through the Adjacency interface
+	Xadj     []int32   // len N+1; Adjncy[Xadj[u]:Xadj[u+1]] are u's neighbors
+	Adjncy   []NodeID  // concatenated neighbor lists
+	EdgeW    []float64 // parallel to Adjncy
+	NodeW    []int32   // len N; defaults to all-ones
 
 	wdegOnce sync.Once
 	wdeg     []float64
 }
 
+// N returns the number of nodes (Adjacency).
+func (c *CSR) N() int { return c.NumNodes }
+
 // ToCSR converts g into CSR form. Adjacency order is preserved.
 func ToCSR(g *Graph) *CSR {
 	n := g.NumNodes()
 	c := &CSR{
-		N:    n,
-		Xadj: make([]int32, n+1),
+		NumNodes: n,
+		Xadj:     make([]int32, n+1),
 	}
 	total := 0
 	for u := 0; u < n; u++ {
@@ -75,8 +78,8 @@ func (c *CSR) WeightedDegree(u NodeID) float64 {
 // concurrent use; callers must not mutate the returned slice.
 func (c *CSR) WeightedDegrees() []float64 {
 	c.wdegOnce.Do(func() {
-		wdeg := make([]float64, c.N)
-		for u := 0; u < c.N; u++ {
+		wdeg := make([]float64, c.N())
+		for u := 0; u < c.N(); u++ {
 			var s float64
 			lo, hi := c.Xadj[u], c.Xadj[u+1]
 			for i := lo; i < hi; i++ {
@@ -105,8 +108,8 @@ func (c *CSR) HalfEdges() int { return len(c.Adjncy) }
 // semantics if undirected is true. For undirected conversion the CSR must
 // store both half-edges (as produced by ToCSR); each pair is emitted once.
 func (c *CSR) ToGraph(directed bool) *Graph {
-	g := NewWithNodes(c.N, directed)
-	for u := 0; u < c.N; u++ {
+	g := NewWithNodes(c.N(), directed)
+	for u := 0; u < c.N(); u++ {
 		lo, hi := c.Xadj[u], c.Xadj[u+1]
 		for i := lo; i < hi; i++ {
 			v := c.Adjncy[i]

@@ -11,8 +11,8 @@ func TestToCSRStructure(t *testing.T) {
 	g.AddEdge(0, 1, 2)
 	g.AddEdge(1, 2, 3)
 	c := ToCSR(g)
-	if c.N != 3 {
-		t.Fatalf("N=%d want 3", c.N)
+	if c.N() != 3 {
+		t.Fatalf("N=%d want 3", c.N())
 	}
 	if c.HalfEdges() != 4 {
 		t.Fatalf("half edges=%d want 4", c.HalfEdges())

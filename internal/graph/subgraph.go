@@ -6,6 +6,10 @@ import "sort"
 // mapping from new IDs to original IDs (the inverse of the compaction).
 // Labels are carried over. Duplicate entries in nodes are ignored; order of
 // first appearance determines the new IDs.
+//
+// extract.inducedFromAdj mirrors this construction over an Adjacency and
+// is lockstep-tested against it (TestInducedFromAdjMatchesGraphInduced);
+// change the two together.
 func Induced(g *Graph, nodes []NodeID) (*Graph, []NodeID) {
 	old2new := make(map[NodeID]NodeID, len(nodes))
 	var new2old []NodeID

@@ -46,6 +46,22 @@ func (d *decoder) u32() uint32 {
 
 func (d *decoder) i32() int32 { return int32(d.u32()) }
 
+// count reads a u32 element count for records of at least elemSize bytes
+// each and validates it against the bytes actually remaining, so a corrupt
+// or truncated blob can never drive a multi-gigabyte allocation or an
+// unbounded decode loop — it fails the decoder instead.
+func (d *decoder) count(elemSize int) int {
+	n := int(d.u32())
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || (elemSize > 0 && n > (len(d.b)-d.off)/elemSize) {
+		d.err = fmt.Errorf("gtree: count %d exceeds record bytes at offset %d", n, d.off)
+		return 0
+	}
+	return n
+}
+
 func (d *decoder) u64() uint64 {
 	if d.err != nil || d.off+8 > len(d.b) {
 		d.fail()

@@ -1,0 +1,266 @@
+package gtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+)
+
+// PagedCSR is the disk-backed implementation of graph.Adjacency: the
+// persisted CSR section of a v2 G-Tree file read on demand through the
+// store's buffer pool. Neighbor ranges are located arithmetically in the
+// fixed-stride page runs, the touched pages are pinned only while their
+// elements are copied out, and the pool's LRU keeps the query's working
+// set resident — so the memory an extraction or PageRank holds for the
+// adjacency is bounded by the pool capacity, not the graph size. This is
+// the paper's single-file claim carried to whole-graph mining: the engine
+// pages the graph, it never loads it.
+//
+// Values round-trip the file verbatim (same int32 ids, same float64
+// bits, same neighbor order as the in-memory CSR the file was saved
+// from), so every kernel produces bit-identical results on either
+// backend.
+//
+// I/O failures (truncated file, CRC mismatch) cannot surface through the
+// Adjacency method set, so they are recorded on a fault counter: the
+// failing call returns empty data and bumps the epoch. Callers running a
+// kernel over a PagedCSR snapshot Faults() before the solve and consult
+// ErrSince afterwards, discarding the result on any fault (core.Engine
+// does this); the epoch protocol stays correct under concurrent queries
+// sharing one view.
+type PagedCSR struct {
+	n         int
+	halfEdges int
+	directed  bool
+	xadj      *storage.RunReader
+	adjncy    *storage.RunReader
+	edgew     *storage.RunReader
+	nodew     *storage.RunReader
+
+	mu      sync.Mutex
+	faults  uint64 // total faults observed; queries compare epochs
+	lastErr error
+
+	wdegMu sync.Mutex
+	wdeg   []float64 // cached only after a fault-free build
+
+	// scratch recycles the raw page-copy buffer of Neighbors across
+	// calls; the kernels call Neighbors O(n·iterations) times per solve,
+	// and without reuse the short-lived buffers dominate GC pressure on
+	// the paged path.
+	scratch sync.Pool
+}
+
+var _ graph.Adjacency = (*PagedCSR)(nil)
+
+// newPagedCSR wires the four run readers over the store's buffer pool,
+// validating the section's geometry against the file.
+func newPagedCSR(s *Store) (*PagedCSR, error) {
+	c := &PagedCSR{n: s.graphNodes, halfEdges: s.halfEdges, directed: s.directed}
+	var err error
+	if c.xadj, err = storage.NewRunReader(s.pool, s.csrPages[0], 4, s.graphNodes+1); err != nil {
+		return nil, fmt.Errorf("gtree: CSR xadj: %w", err)
+	}
+	if c.adjncy, err = storage.NewRunReader(s.pool, s.csrPages[1], 4, s.halfEdges); err != nil {
+		return nil, fmt.Errorf("gtree: CSR adjncy: %w", err)
+	}
+	if c.edgew, err = storage.NewRunReader(s.pool, s.csrPages[2], 8, s.halfEdges); err != nil {
+		return nil, fmt.Errorf("gtree: CSR edgew: %w", err)
+	}
+	if c.nodew, err = storage.NewRunReader(s.pool, s.csrPages[3], 4, s.graphNodes); err != nil {
+		return nil, fmt.Errorf("gtree: CSR nodew: %w", err)
+	}
+	return c, nil
+}
+
+// N returns the number of nodes.
+func (c *PagedCSR) N() int { return c.n }
+
+// HalfEdges returns the number of stored half-edges.
+func (c *PagedCSR) HalfEdges() int { return c.halfEdges }
+
+// Directed reports the persisted graph's edge semantics.
+func (c *PagedCSR) Directed() bool { return c.directed }
+
+// Err returns the most recent I/O or corruption fault hit by an accessor,
+// or nil if none ever occurred. For query-scoped checking use
+// Faults/ErrSince.
+func (c *PagedCSR) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+// Faults returns the fault epoch: the count of faults observed so far.
+// A caller about to run a kernel snapshots it, and after the solve asks
+// ErrSince whether any fault happened in between. The counter-based
+// protocol is what keeps concurrent queries on the shared view honest —
+// an error is never "consumed", so query A's fault cannot be stolen by
+// query B's check, and a clean query that overlapped a faulted one fails
+// closed instead of returning garbage. Transient faults still recover:
+// the next query snapshots the new epoch and re-reads the pages.
+func (c *PagedCSR) Faults() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faults
+}
+
+// ErrSince reports the latest fault if any accessor faulted after the
+// given epoch snapshot, else nil.
+func (c *PagedCSR) ErrSince(epoch uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.faults != epoch {
+		return c.lastErr
+	}
+	return nil
+}
+
+func (c *PagedCSR) setErr(err error) {
+	c.mu.Lock()
+	c.faults++
+	c.lastErr = err
+	c.mu.Unlock()
+}
+
+// xrange reads Xadj[u] and Xadj[u+1], the bounds of u's neighbor range.
+func (c *PagedCSR) xrange(u graph.NodeID) (lo, hi int, ok bool) {
+	if u < 0 || int(u) >= c.n {
+		c.setErr(fmt.Errorf("gtree: CSR node %d out of range (n=%d)", u, c.n))
+		return 0, 0, false
+	}
+	var buf [8]byte
+	if err := c.xadj.Read(int(u), int(u)+2, buf[:]); err != nil {
+		c.setErr(err)
+		return 0, 0, false
+	}
+	lo = int(int32(binary.LittleEndian.Uint32(buf[0:4])))
+	hi = int(int32(binary.LittleEndian.Uint32(buf[4:8])))
+	if lo < 0 || hi < lo || hi > c.halfEdges {
+		c.setErr(fmt.Errorf("gtree: corrupt CSR xadj at node %d: [%d,%d) of %d half-edges", u, lo, hi, c.halfEdges))
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// Degree returns the number of stored half-edges at u.
+func (c *PagedCSR) Degree(u graph.NodeID) int {
+	lo, hi, ok := c.xrange(u)
+	if !ok {
+		return 0
+	}
+	return hi - lo
+}
+
+// Neighbors returns fresh copies of u's neighbor ids and edge weights,
+// paged in through the buffer pool. The returned slices are the caller's;
+// the intermediate page-copy buffer is pooled.
+func (c *PagedCSR) Neighbors(u graph.NodeID) ([]graph.NodeID, []float64) {
+	lo, hi, ok := c.xrange(u)
+	if !ok || hi == lo {
+		return nil, nil
+	}
+	m := hi - lo
+	raw, _ := c.scratch.Get().([]byte) // big enough for both runs; ids first
+	if cap(raw) < m*8 {
+		raw = make([]byte, m*8)
+	}
+	raw = raw[:m*8]
+	defer c.scratch.Put(raw) //nolint:staticcheck // slice header alloc is fine here
+	if err := c.adjncy.Read(lo, hi, raw[:m*4]); err != nil {
+		c.setErr(err)
+		return nil, nil
+	}
+	nbrs := make([]graph.NodeID, m)
+	for i := range nbrs {
+		nbrs[i] = graph.NodeID(int32(binary.LittleEndian.Uint32(raw[4*i:])))
+	}
+	if err := c.edgew.Read(lo, hi, raw); err != nil {
+		c.setErr(err)
+		return nil, nil
+	}
+	ws := make([]float64, m)
+	for i := range ws {
+		ws[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return nbrs, ws
+}
+
+// NodeWeight returns the persisted partitioner node weight of u.
+func (c *PagedCSR) NodeWeight(u graph.NodeID) int32 {
+	if u < 0 || int(u) >= c.n {
+		c.setErr(fmt.Errorf("gtree: CSR node %d out of range (n=%d)", u, c.n))
+		return 0
+	}
+	var buf [4]byte
+	if err := c.nodew.Read(int(u), int(u)+1, buf[:]); err != nil {
+		c.setErr(err)
+		return 0
+	}
+	return int32(binary.LittleEndian.Uint32(buf[:]))
+}
+
+// wdegChunk bounds the scratch buffer of the WeightedDegrees sweep (in
+// elements), keeping the one O(E) pass itself pool-friendly.
+const wdegChunk = 4096
+
+// WeightedDegrees returns the per-node weighted degree table, computed on
+// first use by one streaming sweep over the Xadj and EdgeW runs and cached
+// for the store's lifetime (the table is O(N), which is resident anyway
+// for every RWR/PageRank solve; it is the O(E) adjacency that stays on
+// disk). A build that hits an I/O fault latches the error and is NOT
+// cached, so the next query retries from the pages instead of serving a
+// half-built table forever. Safe for concurrent use; callers must not
+// mutate the result.
+func (c *PagedCSR) WeightedDegrees() []float64 {
+	c.wdegMu.Lock()
+	defer c.wdegMu.Unlock()
+	if c.wdeg != nil {
+		return c.wdeg
+	}
+	wdeg := make([]float64, c.n)
+	if c.n == 0 {
+		c.wdeg = wdeg
+		return wdeg
+	}
+	// Node boundaries: stream Xadj once into a compact offsets table.
+	xadj := make([]int32, c.n+1)
+	buf := make([]byte, wdegChunk*8)
+	for lo := 0; lo <= c.n; lo += wdegChunk {
+		hi := lo + wdegChunk
+		if hi > c.n+1 {
+			hi = c.n + 1
+		}
+		if err := c.xadj.Read(lo, hi, buf[:(hi-lo)*4]); err != nil {
+			c.setErr(err)
+			return wdeg
+		}
+		for i := lo; i < hi; i++ {
+			xadj[i] = int32(binary.LittleEndian.Uint32(buf[(i-lo)*4:]))
+		}
+	}
+	// One pass over EdgeW, attributing weights by walking the offsets.
+	u := 0
+	for lo := 0; lo < c.halfEdges; lo += wdegChunk {
+		hi := lo + wdegChunk
+		if hi > c.halfEdges {
+			hi = c.halfEdges
+		}
+		if err := c.edgew.Read(lo, hi, buf[:(hi-lo)*8]); err != nil {
+			c.setErr(err)
+			return wdeg
+		}
+		for i := lo; i < hi; i++ {
+			for u < c.n-1 && int32(i) >= xadj[u+1] {
+				u++
+			}
+			wdeg[u] += math.Float64frombits(binary.LittleEndian.Uint64(buf[(i-lo)*8:]))
+		}
+	}
+	c.wdeg = wdeg
+	return wdeg
+}

@@ -1,0 +1,262 @@
+package gtree
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randomGraph builds a labeled weighted undirected graph for round-trip
+// checks.
+func randomGraph(n, m int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithNodes(n, false)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) > 0 {
+			g.SetLabel(graph.NodeID(i), "node-"+string(rune('a'+i%26))+"-"+string(rune('0'+i%10)))
+		}
+	}
+	for i := 0; i < m; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		g.AddEdge(u, v, math.Round(rng.Float64()*100)/10+0.1)
+	}
+	g.Dedup()
+	return g
+}
+
+func buildAndSave(t *testing.T, g *graph.Graph, pageSize int) string {
+	t.Helper()
+	tree, err := Build(g, BuildOptions{K: 3, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.gtree")
+	if err := Save(tree, g, path, pageSize); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestPagedCSRRoundTrip checks the persisted CSR section reproduces the
+// in-memory CSR bit for bit: every neighbor list, weight, degree and the
+// weighted-degree table.
+func TestPagedCSRRoundTrip(t *testing.T) {
+	g := randomGraph(120, 500, 1)
+	want := graph.ToCSR(g)
+	path := buildAndSave(t, g, 256) // small pages force multi-page runs
+
+	s, err := OpenFile(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.HasCSR() {
+		t.Fatal("v2 file reports no CSR section")
+	}
+	c, err := s.PagedCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != want.N() || c.HalfEdges() != want.HalfEdges() {
+		t.Fatalf("geometry: n=%d/%d half=%d/%d", c.N(), want.N(), c.HalfEdges(), want.HalfEdges())
+	}
+	if c.Directed() != g.Directed() {
+		t.Fatal("directedness lost")
+	}
+	for u := 0; u < want.N(); u++ {
+		id := graph.NodeID(u)
+		wn, ww := want.Neighbors(id)
+		gn, gw := c.Neighbors(id)
+		if len(gn) != len(wn) || c.Degree(id) != want.Degree(id) {
+			t.Fatalf("node %d: degree %d want %d", u, len(gn), len(wn))
+		}
+		for i := range wn {
+			if gn[i] != wn[i] || math.Float64bits(gw[i]) != math.Float64bits(ww[i]) {
+				t.Fatalf("node %d edge %d: %d/%g want %d/%g", u, i, gn[i], gw[i], wn[i], ww[i])
+			}
+		}
+		if c.NodeWeight(id) != want.NodeW[u] {
+			t.Fatalf("node %d weight %d want %d", u, c.NodeWeight(id), want.NodeW[u])
+		}
+	}
+	ww, gw := want.WeightedDegrees(), c.WeightedDegrees()
+	for u := range ww {
+		if math.Float64bits(gw[u]) != math.Float64bits(ww[u]) {
+			t.Fatalf("wdeg[%d] = %g want %g", u, gw[u], ww[u])
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("latched error after clean reads: %v", err)
+	}
+	// Labels round-trip through the node-indexed label view.
+	for u := 0; u < g.NumNodes(); u++ {
+		if got := s.LabelOf(graph.NodeID(u)); got != g.Label(graph.NodeID(u)) {
+			t.Fatalf("label of %d = %q want %q", u, got, g.Label(graph.NodeID(u)))
+		}
+	}
+}
+
+// TestPagedCSRPoolBounded pins the acceptance criterion: sweeping the
+// whole adjacency through a pool much smaller than the CSR section keeps
+// the resident page count within the pool capacity and forces evictions —
+// the engine pages the graph, it never loads it.
+func TestPagedCSRPoolBounded(t *testing.T) {
+	g := randomGraph(300, 3000, 2)
+	path := buildAndSave(t, g, 256)
+
+	const poolPages = 6
+	s, err := OpenFile(path, poolPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := s.PagedCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csrPages := 0
+	for _, cnt := range []int{c.N() + 1, c.HalfEdges(), c.HalfEdges(), c.N()} {
+		csrPages += (cnt*4 + 251) / 252 // stride-4 lower bound per run
+	}
+	if csrPages <= poolPages {
+		t.Fatalf("test graph too small: CSR spans %d pages, pool holds %d", csrPages, poolPages)
+	}
+	s.ResetPoolStats()
+	// Full adjacency sweep (what an RWR iteration does).
+	c.WeightedDegrees()
+	for u := 0; u < c.N(); u++ {
+		c.Neighbors(graph.NodeID(u))
+	}
+	pi := s.PoolInfo()
+	if pi.Resident > pi.Capacity {
+		t.Fatalf("resident %d exceeds pool capacity %d", pi.Resident, pi.Capacity)
+	}
+	if pi.Evictions == 0 {
+		t.Fatal("no evictions although the CSR exceeds the pool")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaveLegacyOpensWithoutCSR checks v1 files keep working end to end
+// and report ErrNoCSR for paged-graph queries.
+func TestSaveLegacyOpensWithoutCSR(t *testing.T) {
+	g := randomGraph(80, 240, 3)
+	tree, err := Build(g, BuildOptions{K: 3, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.gtree")
+	if err := SaveLegacy(tree, g, path, 0); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFile(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.HasCSR() {
+		t.Fatal("legacy file claims a CSR section")
+	}
+	if _, err := s.PagedCSR(); err != ErrNoCSR {
+		t.Fatalf("PagedCSR on v1 file: %v, want ErrNoCSR", err)
+	}
+	// Navigation and leaves still work.
+	if s.Tree().NumCommunities() != tree.NumCommunities() {
+		t.Fatal("community count changed across legacy save/open")
+	}
+	for _, leaf := range s.Tree().Leaves()[:3] {
+		if _, _, err := s.LoadLeaf(leaf); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPagedCSRFaultEpochs pins the fault model: faults bump a counter
+// that queries compare epochs against, so a fault fails exactly the
+// queries that overlapped it — it cannot be stolen by a concurrent
+// query's check, and later queries recover.
+func TestPagedCSRFaultEpochs(t *testing.T) {
+	g := randomGraph(40, 120, 4)
+	path := buildAndSave(t, g, 256)
+	s, err := OpenFile(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := s.PagedCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochA := c.Faults() // query A starts
+	epochB := c.Faults() // concurrent query B starts
+	if nbrs, _ := c.Neighbors(graph.NodeID(-1)); nbrs != nil {
+		t.Fatal("out-of-range read returned data")
+	}
+	// Both in-flight queries observe the fault — no stealing, no
+	// garbage-as-success.
+	if c.ErrSince(epochA) == nil || c.ErrSince(epochB) == nil {
+		t.Fatal("overlapping queries missed the fault")
+	}
+	if c.Err() == nil {
+		t.Fatal("Err() lost the fault record")
+	}
+	// A query starting after the fault recovers: fresh epoch, clean reads.
+	epochC := c.Faults()
+	want := graph.ToCSR(g)
+	gn, _ := c.Neighbors(0)
+	wn, _ := want.Neighbors(0)
+	if len(gn) != len(wn) {
+		t.Fatalf("post-fault read broken: %d vs %d nbrs", len(gn), len(wn))
+	}
+	if err := c.ErrSince(epochC); err != nil {
+		t.Fatalf("clean query after fault reported error: %v", err)
+	}
+}
+
+// TestDirectedLeafRoundTrip checks v2 files rebuild directed leaf
+// subgraphs as directed: the persisted directedness flag reaches
+// LoadLeaf, matching what a memory-backed tree would induce.
+func TestDirectedLeafRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := graph.NewWithNodes(60, true)
+	for i := 0; i < 200; i++ {
+		g.AddEdge(graph.NodeID(rng.Intn(60)), graph.NodeID(rng.Intn(60)), 1)
+	}
+	g.Dedup()
+	tree, err := Build(g, BuildOptions{K: 3, Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dir.gtree")
+	if err := Save(tree, g, path, 0); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenFile(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.Directed() {
+		t.Fatal("directedness flag lost")
+	}
+	for _, leaf := range s.Tree().Leaves() {
+		diskSub, members, err := s.LoadLeaf(leaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !diskSub.Directed() {
+			t.Fatalf("leaf %d decoded undirected from a directed file", leaf)
+		}
+		memSub, _ := graph.Induced(g, tree.Node(leaf).Members)
+		if diskSub.NumEdges() != memSub.NumEdges() || len(members) != memSub.NumNodes() {
+			t.Fatalf("leaf %d: %d/%d edges, %d/%d nodes", leaf,
+				diskSub.NumEdges(), memSub.NumEdges(), len(members), memSub.NumNodes())
+		}
+	}
+}

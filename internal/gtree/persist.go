@@ -1,7 +1,10 @@
 package gtree
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -23,19 +26,51 @@ import (
 //	                 (localU, localV, weight) intra-community edges
 //
 // Internal tree nodes and connectivity stay resident (they are small and
-// every interaction needs them); leaf blobs and the label index are read
-// on demand through the buffer pool — the paper's "nodes are transferred
-// to main memory only when necessary".
+// every interaction needs them); leaf blobs, the label index and — since
+// format v2 — the full graph's CSR section are read on demand through the
+// buffer pool, the paper's "nodes are transferred to main memory only when
+// necessary".
+//
+// Format v2 appends a paged CSR section: the source graph's Xadj, Adjncy,
+// EdgeW and NodeW arrays written as fixed-stride page runs (see
+// storage.WriteRun), plus six extra superblock fields (flags, half-edge
+// count, four run page ids). A v2 store can therefore answer whole-graph
+// queries — connection-subgraph extraction, PageRank — out of core through
+// gtree.PagedCSR, with resident adjacency bounded by the buffer pool.
+// Version 1 files still open fine; they simply have no CSR section and
+// report ErrNoCSR for paged-graph queries.
 
 const (
-	fileMagic   = 0x47545245 // "GTRE"
-	fileVersion = 1
+	fileMagic     = 0x47545245 // "GTRE"
+	fileVersionV1 = 1          // leaf blobs + topology + connectivity + labels
+	fileVersion   = 2          // v1 plus the paged CSR section
+
+	csrFlagDirected = 1 << 0
 )
 
-// Save writes the tree and its source graph's leaf subgraphs to a single
-// page file at path. The tree must have been produced by Build on g (it
-// needs leaf membership). pageSize 0 selects the storage default.
+// ErrNoCSR reports a G-Tree file that predates format v2 and therefore
+// carries no graph CSR section: tree navigation, leaf loading and label
+// queries all work, but whole-graph queries (extraction, PageRank) cannot.
+// Re-save the tree with the current version to enable them.
+var ErrNoCSR = errors.New("gtree: file has no CSR section (format v1); re-save the tree with the current version to enable whole-graph queries")
+
+// Save writes the tree, its source graph's leaf subgraphs and the graph's
+// paged CSR section (format v2) to a single page file at path. The tree
+// must have been produced by Build on g (it needs leaf membership).
+// pageSize 0 selects the storage default.
 func Save(t *Tree, g *graph.Graph, path string, pageSize int) error {
+	return save(t, g, path, pageSize, true)
+}
+
+// SaveLegacy writes the pre-CSR v1 format (no paged graph section), kept
+// for compatibility testing and for tooling that must produce files older
+// deployments can read. Files written this way open fine but report
+// ErrNoCSR for extraction.
+func SaveLegacy(t *Tree, g *graph.Graph, path string, pageSize int) error {
+	return save(t, g, path, pageSize, false)
+}
+
+func save(t *Tree, g *graph.Graph, path string, pageSize int, withCSR bool) error {
 	if t.leafOf == nil {
 		return fmt.Errorf("gtree: Save needs a tree with leaf membership (built in memory)")
 	}
@@ -99,9 +134,21 @@ func Save(t *Tree, g *graph.Graph, path string, pageSize int) error {
 		return fmt.Errorf("gtree: writing label index: %w", err)
 	}
 
+	version := uint32(fileVersion)
+	var flags uint32
+	var halfEdges int
+	var csrPages [4]storage.PageID
+	if withCSR {
+		if csrPages, halfEdges, flags, err = writeCSRSection(p, g); err != nil {
+			return fmt.Errorf("gtree: writing CSR section: %w", err)
+		}
+	} else {
+		version = fileVersionV1
+	}
+
 	var meta encoder
 	meta.u32(fileMagic)
-	meta.u32(fileVersion)
+	meta.u32(version)
 	meta.u32(uint32(t.K))
 	meta.u32(uint32(t.Levels))
 	meta.u32(uint32(len(t.nodes)))
@@ -109,7 +156,61 @@ func Save(t *Tree, g *graph.Graph, path string, pageSize int) error {
 	meta.u32(uint32(connPage))
 	meta.u32(uint32(labelPage))
 	meta.u32(uint32(g.NumNodes()))
+	if withCSR {
+		meta.u32(flags)
+		meta.u32(uint32(halfEdges))
+		for _, pg := range csrPages {
+			meta.u32(uint32(pg))
+		}
+	}
 	return p.SetMeta(meta.b)
+}
+
+// writeCSRSection persists g's CSR arrays as four fixed-stride page runs
+// and returns their first pages (xadj, adjncy, edgew, nodew), the
+// half-edge count and the format flags.
+func writeCSRSection(p *storage.Pager, g *graph.Graph) ([4]storage.PageID, int, uint32, error) {
+	var pages [4]storage.PageID
+	c := graph.ToCSR(g)
+	// Cap at MaxInt32, not MaxUint32: Xadj offsets are int32, so anything
+	// past 2^31-1 would save "fine" and then wrap negative on every read.
+	if uint64(c.HalfEdges()) > math.MaxInt32 {
+		return pages, 0, 0, fmt.Errorf("graph has %d half-edges, format caps at %d", c.HalfEdges(), int32(math.MaxInt32))
+	}
+	var flags uint32
+	if g.Directed() {
+		flags |= csrFlagDirected
+	}
+	var err error
+	if pages[0], err = storage.WriteRun(p, encodeI32Run(c.Xadj), 4); err != nil {
+		return pages, 0, 0, err
+	}
+	if pages[1], err = storage.WriteRun(p, encodeI32Run(c.Adjncy), 4); err != nil {
+		return pages, 0, 0, err
+	}
+	if pages[2], err = storage.WriteRun(p, encodeF64Run(c.EdgeW), 8); err != nil {
+		return pages, 0, 0, err
+	}
+	if pages[3], err = storage.WriteRun(p, encodeI32Run(c.NodeW), 4); err != nil {
+		return pages, 0, 0, err
+	}
+	return pages, c.HalfEdges(), flags, nil
+}
+
+func encodeI32Run(vals []int32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}
+
+func encodeF64Run(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
 }
 
 // encodeLeaf serializes one leaf community: members, their labels, and the
@@ -157,7 +258,7 @@ func encodeLeaf(g *graph.Graph, members []graph.NodeID) []byte {
 // labels) and the member mapping local->original.
 func decodeLeaf(blob []byte, directed bool) (*graph.Graph, []graph.NodeID, error) {
 	d := decoder{b: blob}
-	n := int(d.u32())
+	n := d.count(4) // 4 bytes per member id (labels and edges follow)
 	if d.err != nil {
 		return nil, nil, d.err
 	}
@@ -171,7 +272,10 @@ func decodeLeaf(blob []byte, directed bool) (*graph.Graph, []graph.NodeID, error
 			sub.SetLabel(graph.NodeID(i), l)
 		}
 	}
-	m := int(d.u32())
+	m := d.count(16) // 4+4+8 bytes per edge
+	if d.err != nil {
+		return nil, nil, d.err
+	}
 	for i := 0; i < m; i++ {
 		u := d.i32()
 		v := d.i32()
@@ -181,6 +285,12 @@ func decodeLeaf(blob []byte, directed bool) (*graph.Graph, []graph.NodeID, error
 		}
 		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
 			return nil, nil, fmt.Errorf("gtree: leaf edge %d-%d out of range (n=%d)", u, v, n)
+		}
+		// Reject weights the graph model disallows (Validate requires
+		// finite, non-negative weights): a CRC collision or hand-edited
+		// file must not smuggle them into the kernels.
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, nil, fmt.Errorf("gtree: leaf edge %d-%d has invalid weight %g", u, v, w)
 		}
 		sub.AddEdge(graph.NodeID(u), graph.NodeID(v), w)
 	}
@@ -230,8 +340,19 @@ type Store struct {
 	labelPage  storage.PageID
 	graphNodes int
 
-	mu     sync.Mutex
-	labels []labelEntry // lazily loaded
+	// CSR section (format v2; hasCSR false for v1 files).
+	hasCSR    bool
+	directed  bool
+	halfEdges int
+	csrPages  [4]storage.PageID // xadj, adjncy, edgew, nodew
+
+	csrOnce sync.Once
+	csr     *PagedCSR
+	csrErr  error
+
+	mu          sync.Mutex
+	labels      []labelEntry // lazily loaded
+	labelByNode map[graph.NodeID]string
 }
 
 // OpenFile opens a persisted G-Tree. poolPages bounds the buffer pool (0
@@ -250,9 +371,10 @@ func OpenFile(path string, poolPages int) (*Store, error) {
 		p.Close()
 		return nil, fmt.Errorf("gtree: not a G-Tree file")
 	}
-	if v := d.u32(); v != fileVersion {
+	version := d.u32()
+	if version != fileVersionV1 && version != fileVersion {
 		p.Close()
-		return nil, fmt.Errorf("gtree: unsupported version %d", v)
+		return nil, fmt.Errorf("gtree: unsupported version %d", version)
 	}
 	k := int(d.u32())
 	levels := int(d.u32())
@@ -261,6 +383,15 @@ func OpenFile(path string, poolPages int) (*Store, error) {
 	connPage := storage.PageID(d.u32())
 	s.labelPage = storage.PageID(d.u32())
 	s.graphNodes = int(d.u32())
+	if version >= fileVersion {
+		flags := d.u32()
+		s.directed = flags&csrFlagDirected != 0
+		s.halfEdges = int(d.u32())
+		for i := range s.csrPages {
+			s.csrPages[i] = storage.PageID(d.u32())
+		}
+		s.hasCSR = d.err == nil
+	}
 	if d.err != nil {
 		p.Close()
 		return nil, d.err
@@ -272,7 +403,12 @@ func OpenFile(path string, poolPages int) (*Store, error) {
 		return nil, fmt.Errorf("gtree: reading topology: %w", err)
 	}
 	td := decoder{b: topo}
-	if got := int(td.u32()); got != numNodes {
+	got := td.count(32) // at least 32 bytes per node record
+	if td.err != nil {
+		p.Close()
+		return nil, td.err
+	}
+	if got != numNodes {
 		p.Close()
 		return nil, fmt.Errorf("gtree: topology holds %d nodes, meta says %d", got, numNodes)
 	}
@@ -286,8 +422,8 @@ func OpenFile(path string, poolPages int) (*Store, error) {
 		n.MemberPage = td.u32()
 		n.InternalCount = int(td.u32())
 		n.InternalWeight = td.f64()
-		nc := int(td.u32())
-		for j := 0; j < nc; j++ {
+		nc := td.count(4)
+		for j := 0; j < nc && td.err == nil; j++ {
 			n.Children = append(n.Children, TreeID(td.i32()))
 		}
 	}
@@ -301,8 +437,8 @@ func OpenFile(path string, poolPages int) (*Store, error) {
 		return nil, fmt.Errorf("gtree: reading connectivity: %w", err)
 	}
 	cd := decoder{b: connBlob}
-	nConn := int(cd.u32())
-	for i := 0; i < nConn; i++ {
+	nConn := cd.count(20) // 4+4+4+8 bytes per connectivity edge
+	for i := 0; i < nConn && cd.err == nil; i++ {
 		a := TreeID(cd.i32())
 		b := TreeID(cd.i32())
 		cnt := int(cd.u32())
@@ -339,7 +475,9 @@ func (s *Store) LoadLeaf(id TreeID) (*graph.Graph, []graph.NodeID, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("gtree: reading leaf %d: %w", id, err)
 	}
-	return decodeLeaf(blob, false)
+	// v2 files persist the graph's directedness; v1 files default to
+	// undirected (their historical decoding).
+	return decodeLeaf(blob, s.directed)
 }
 
 // LabelHit is the result of a label query.
@@ -395,7 +533,10 @@ func (s *Store) ensureLabels() error {
 		return fmt.Errorf("gtree: reading label index: %w", err)
 	}
 	d := decoder{b: blob}
-	n := int(d.u32())
+	n := d.count(12) // at least 4+4+4 bytes per entry
+	if d.err != nil {
+		return d.err
+	}
 	entries := make([]labelEntry, 0, n)
 	for i := 0; i < n; i++ {
 		le := labelEntry{Label: d.str(), Node: graph.NodeID(d.i32()), Leaf: TreeID(d.i32())}
@@ -409,6 +550,87 @@ func (s *Store) ensureLabels() error {
 	}
 	s.labels = entries
 	return nil
+}
+
+// HasCSR reports whether the file carries a v2 CSR section, i.e. whether
+// whole-graph queries (extraction, PageRank) can run out of core.
+func (s *Store) HasCSR() bool { return s.hasCSR }
+
+// Directed reports the persisted graph's edge semantics (v2 files; v1
+// files always report false, matching their undirected leaf decoding).
+func (s *Store) Directed() bool { return s.directed }
+
+// PagedCSR returns the store's shared disk-backed adjacency, creating it
+// on first use (sync.Once-guarded, like the memory engine's cached CSR).
+// Every query against the store reads through this one view and therefore
+// shares the store's buffer pool working set. Returns ErrNoCSR for v1
+// files.
+func (s *Store) PagedCSR() (*PagedCSR, error) {
+	if !s.hasCSR {
+		return nil, ErrNoCSR
+	}
+	s.csrOnce.Do(func() {
+		s.csr, s.csrErr = newPagedCSR(s)
+	})
+	return s.csr, s.csrErr
+}
+
+// PreloadLabels loads the label index and builds its node-indexed view,
+// surfacing any read fault. Callers that will annotate results through
+// LabelOf (which cannot return an error) call this first, so a failed
+// index read fails the query instead of silently stripping labels.
+func (s *Store) PreloadLabels() error {
+	if err := s.ensureLabels(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.labelByNode == nil {
+		s.labelByNode = make(map[graph.NodeID]string, len(s.labels))
+		for _, le := range s.labels {
+			s.labelByNode[le.Node] = le.Label
+		}
+	}
+	return nil
+}
+
+// LabelOf returns the label of graph node u, or "" when the node is
+// unlabeled or the label index cannot be read (use PreloadLabels first to
+// distinguish the two). The node-indexed view of the label index is built
+// lazily on first use (the index itself is sorted by label for the search
+// queries).
+func (s *Store) LabelOf(u graph.NodeID) string {
+	if err := s.PreloadLabels(); err != nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.labelByNode[u]
+}
+
+// PoolInfo bundles the buffer-pool counters with its configuration — the
+// observability surface for out-of-core behavior (served on /healthz and
+// in per-session info by the HTTP server).
+type PoolInfo struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Capacity  int
+	Resident  int
+	FilePages uint32
+}
+
+// PoolInfo snapshots the buffer pool and file size.
+func (s *Store) PoolInfo() PoolInfo {
+	st := s.pool.Stats()
+	return PoolInfo{
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+		Capacity:  s.pool.Capacity(),
+		Resident:  s.pool.Resident(),
+		FilePages: s.pager.NumPages(),
+	}
 }
 
 // PoolStats returns buffer pool counters (experiment E10).

@@ -18,8 +18,8 @@ func multilevelBisect(c *graph.CSR, frac float64, opts Options, rng *rand.Rand) 
 	for li := len(levels) - 1; li > 0; li-- {
 		fine := levels[li-1].csr
 		cmap := levels[li].cmap
-		fineSide := make([]int8, fine.N)
-		for u := 0; u < fine.N; u++ {
+		fineSide := make([]int8, fine.N())
+		for u := 0; u < fine.N(); u++ {
 			fineSide[u] = side[cmap[u]]
 		}
 		side = fineSide
@@ -33,7 +33,7 @@ func multilevelBisect(c *graph.CSR, frac float64, opts Options, rng *rand.Rand) 
 // node whose move reduces the would-be cut most, until side 0 holds the
 // target weight. Tries several seeds and keeps the smallest cut.
 func growBisection(c *graph.CSR, frac float64, opts Options, rng *rand.Rand) []int8 {
-	n := c.N
+	n := c.N()
 	total := c.TotalNodeWeight()
 	target := int64(frac * float64(total))
 	if target < 1 {
@@ -113,7 +113,7 @@ func growBisection(c *graph.CSR, frac float64, opts Options, rng *rand.Rand) []i
 // sideCut returns the weight of edges crossing a bisection.
 func sideCut(c *graph.CSR, side []int8) float64 {
 	var cut float64
-	for u := 0; u < c.N; u++ {
+	for u := 0; u < c.N(); u++ {
 		nbrs, ws := c.Neighbors(graph.NodeID(u))
 		for i, v := range nbrs {
 			if side[v] != side[u] {

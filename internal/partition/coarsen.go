@@ -10,7 +10,7 @@ import (
 // incident edge, visiting nodes in random order (Karypis–Kumar HEM).
 // match[u] == u means u is unmatched (matched with itself).
 func heavyEdgeMatch(c *graph.CSR, rng *rand.Rand) []int32 {
-	n := c.N
+	n := c.N()
 	match := make([]int32, n)
 	for i := range match {
 		match[i] = -1
@@ -45,7 +45,7 @@ func heavyEdgeMatch(c *graph.CSR, rng *rand.Rand) []int32 {
 // are merged by weight summation; coarse self-loops (edges internal to a
 // matched pair) are dropped, since they can never be cut.
 func contract(c *graph.CSR, match []int32) (*graph.CSR, []int32) {
-	n := c.N
+	n := c.N()
 	cmap := make([]int32, n)
 	var cn int32
 	for u := 0; u < n; u++ {
@@ -58,9 +58,9 @@ func contract(c *graph.CSR, match []int32) (*graph.CSR, []int32) {
 		}
 	}
 	coarse := &graph.CSR{
-		N:     int(cn),
-		Xadj:  make([]int32, cn+1),
-		NodeW: make([]int32, cn),
+		NumNodes: int(cn),
+		Xadj:     make([]int32, cn+1),
+		NodeW:    make([]int32, cn),
 	}
 	for u := 0; u < n; u++ {
 		coarse.NodeW[cmap[u]] += c.NodeW[u]
@@ -122,10 +122,10 @@ type coarsenLevel struct {
 func coarsen(c *graph.CSR, coarsenTo int, rng *rand.Rand) []coarsenLevel {
 	levels := []coarsenLevel{{csr: c}}
 	cur := c
-	for cur.N > coarsenTo {
+	for cur.N() > coarsenTo {
 		match := heavyEdgeMatch(cur, rng)
 		next, cmap := contract(cur, match)
-		if float64(next.N) > 0.9*float64(cur.N) {
+		if float64(next.N()) > 0.9*float64(cur.N()) {
 			break // matching stalled (e.g. star graphs); stop coarsening
 		}
 		levels = append(levels, coarsenLevel{csr: next, cmap: cmap})

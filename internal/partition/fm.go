@@ -32,10 +32,10 @@ func (h *fmHeap) pop() fmEntry      { return heap.Pop(h).(fmEntry) }
 // side is modified in place. frac is the target fraction of total node
 // weight on side 0; imbalance the allowed overweight ratio per side.
 func fmRefine(c *graph.CSR, side []int8, frac, imbalance float64, passes int, rng *rand.Rand) {
-	if passes <= 0 || c.N < 2 {
+	if passes <= 0 || c.N() < 2 {
 		return
 	}
-	n := c.N
+	n := c.N()
 	total := float64(c.TotalNodeWeight())
 	target0 := frac * total
 	target1 := total - target0

@@ -15,7 +15,7 @@ import (
 // greedy pass already recovers most of the cross-bisection cut the
 // recursion leaves behind.
 func kwayRefine(c *graph.CSR, parts []int32, k int, imbalance float64, passes int) int {
-	n := c.N
+	n := c.N()
 	if n == 0 || k < 2 {
 		return 0
 	}

@@ -151,7 +151,7 @@ func identity(n int) []graph.NodeID {
 // writing part ids (offset..offset+k-1) into parts via orig (the mapping
 // from c's local ids to original graph ids).
 func assignRecursive(c *graph.CSR, orig []graph.NodeID, k, offset int, parts []int32, opts Options, rng *rand.Rand) {
-	if k == 1 || c.N == 0 {
+	if k == 1 || c.N() == 0 {
 		for _, o := range orig {
 			parts[o] = int32(offset)
 		}
@@ -169,7 +169,7 @@ func assignRecursive(c *graph.CSR, orig []graph.NodeID, k, offset int, parts []i
 // splitCSR extracts the two sides of a bisection as independent CSRs with
 // mappings back to original node ids. Cross edges are dropped.
 func splitCSR(c *graph.CSR, side []int8, orig []graph.NodeID) (*graph.CSR, []graph.NodeID, *graph.CSR, []graph.NodeID) {
-	n := c.N
+	n := c.N()
 	local := make([]int32, n)
 	var n0, n1 int32
 	for u := 0; u < n; u++ {
@@ -183,8 +183,8 @@ func splitCSR(c *graph.CSR, side []int8, orig []graph.NodeID) (*graph.CSR, []gra
 	}
 	o0 := make([]graph.NodeID, n0)
 	o1 := make([]graph.NodeID, n1)
-	c0 := &graph.CSR{N: int(n0), Xadj: make([]int32, n0+1), NodeW: make([]int32, n0)}
-	c1 := &graph.CSR{N: int(n1), Xadj: make([]int32, n1+1), NodeW: make([]int32, n1)}
+	c0 := &graph.CSR{NumNodes: int(n0), Xadj: make([]int32, n0+1), NodeW: make([]int32, n0)}
+	c1 := &graph.CSR{NumNodes: int(n1), Xadj: make([]int32, n1+1), NodeW: make([]int32, n1)}
 	for u := 0; u < n; u++ {
 		if side[u] == 0 {
 			o0[local[u]] = orig[u]

@@ -319,7 +319,7 @@ func TestHeavyEdgeMatchIsMatching(t *testing.T) {
 	match := heavyEdgeMatch(c, rng)
 	for u := range match {
 		m := match[u]
-		if m < 0 || int(m) >= c.N {
+		if m < 0 || int(m) >= c.N() {
 			t.Fatalf("match[%d]=%d out of range", u, m)
 		}
 		if match[m] != int32(u) {
@@ -350,7 +350,7 @@ func TestContractPreservesWeights(t *testing.T) {
 		// Cross-pair edge weight conserved: total fine weight minus weight
 		// internal to matched pairs equals total coarse weight.
 		var fineTotal, internal float64
-		for u := 0; u < c.N; u++ {
+		for u := 0; u < c.N(); u++ {
 			nbrs, ws := c.Neighbors(graph.NodeID(u))
 			for i, v := range nbrs {
 				fineTotal += ws[i]
@@ -420,13 +420,13 @@ func TestPropertyMultilevelBalance(t *testing.T) {
 func TestSplitCSRPartitionsEdges(t *testing.T) {
 	g := twoCliques(8, 3)
 	c := graph.ToCSR(g)
-	side := make([]int8, c.N)
+	side := make([]int8, c.N())
 	for i := 8; i < 16; i++ {
 		side[i] = 1
 	}
-	c0, o0, c1, o1 := splitCSR(c, side, identity(c.N))
-	if c0.N != 8 || c1.N != 8 {
-		t.Fatalf("sizes %d %d want 8 8", c0.N, c1.N)
+	c0, o0, c1, o1 := splitCSR(c, side, identity(c.N()))
+	if c0.N() != 8 || c1.N() != 8 {
+		t.Fatalf("sizes %d %d want 8 8", c0.N(), c1.N())
 	}
 	// Each side keeps its clique's 28 undirected edges = 56 half-edges.
 	if c0.HalfEdges() != 56 || c1.HalfEdges() != 56 {

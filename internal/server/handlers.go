@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -107,10 +108,19 @@ func (s *Server) serveCached(w http.ResponseWriter, key string,
 	_, _ = w.Write(body)
 }
 
-// statusOf maps session-level errors to HTTP statuses.
+// errBackendFault marks server-side storage failures (corrupt sections,
+// failed index reads) so they surface as 500s, not client errors.
+var errBackendFault = errors.New("backend fault")
+
+// statusOf maps session-level errors to HTTP statuses: gone sessions are
+// 404, backend storage faults (including paged-read failures mid-query)
+// are 500, everything else gets the caller's fallback.
 func statusOf(err error, fallback int) int {
-	if err == errSessionGone {
+	switch {
+	case err == errSessionGone:
 		return http.StatusNotFound
+	case errors.Is(err, errBackendFault), errors.Is(err, core.ErrPagedIO):
+		return http.StatusInternalServerError
 	}
 	return fallback
 }
@@ -128,16 +138,72 @@ type healthResponse struct {
 	Goroutines    int        `json:"goroutines"`
 	Sessions      []string   `json:"sessions"`
 	Cache         CacheStats `json:"cache"`
+	// Pools reports per-session buffer-pool counters for disk-backed
+	// (gtree) sessions — the observability surface of out-of-core
+	// behavior: misses and evictions growing under extraction show the
+	// engine paging the graph instead of loading it.
+	Pools map[string]PoolInfo `json:"pools,omitempty"`
+}
+
+// PoolInfo is the wire form of a disk-backed session's buffer-pool state.
+type PoolInfo struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Capacity  int    `json:"capacity"`
+	Resident  int    `json:"resident"`
+	FilePages uint32 `json:"filePages"`
+	HasCSR    bool   `json:"hasCSR"`
+}
+
+// poolInfoFrom converts a store's pool snapshot to the wire form.
+func poolInfoFrom(st *gtree.Store) *PoolInfo {
+	pi := st.PoolInfo()
+	return &PoolInfo{
+		Hits:      pi.Hits,
+		Misses:    pi.Misses,
+		Evictions: pi.Evictions,
+		Capacity:  pi.Capacity,
+		Resident:  pi.Resident,
+		FilePages: pi.FilePages,
+		HasCSR:    st.HasCSR(),
+	}
+}
+
+// poolInfo snapshots a session's buffer pool, or nil for memory sessions.
+// It never blocks: a session whose build is still holding the write lock
+// is skipped, so /healthz stays a liveness probe even while a large
+// session builds.
+func poolInfo(sess *Session) *PoolInfo {
+	var out *PoolInfo
+	_ = sess.tryRead(func(eng *core.Engine) error {
+		if st := eng.Store(); st != nil {
+			out = poolInfoFrom(st)
+		}
+		return nil
+	})
+	return out
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthResponse{
+	resp := healthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),
 		Sessions:      s.reg.names(),
 		Cache:         s.cache.snapshot(),
-	})
+	}
+	for _, name := range resp.Sessions {
+		if sess, ok := s.reg.get(name); ok {
+			if pi := poolInfo(sess); pi != nil {
+				if resp.Pools == nil {
+					resp.Pools = make(map[string]PoolInfo)
+				}
+				resp.Pools[name] = *pi
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- POST /sessions -------------------------------------------------------
@@ -633,27 +699,43 @@ func (s *Server) planExtract(sess *Session, req ExtractRequest) (extractPlan, in
 
 	// Resolve labels to ids under the read lock, then canonicalize the
 	// source set (sorted, deduped) so query order does not defeat caching.
+	// Disk-backed sessions extract too (out of core, over the paged CSR);
+	// forcing the adjacency here surfaces "v1 file, no CSR section" as an
+	// actionable 409 before any solve work is queued.
 	sources := append([]graph.NodeID(nil), req.Sources...)
 	err = sess.withRead(func(eng *core.Engine) error {
-		g := eng.Graph()
-		if g == nil {
-			return fmt.Errorf("session %q is disk-backed; extraction needs a memory-backed session", sess.name)
+		if _, err := eng.Adj(); err != nil {
+			if errors.Is(err, core.ErrNoCSR) {
+				return err
+			}
+			// Corrupt CSR-section geometry and the like: the request is
+			// fine, the store is not.
+			return fmt.Errorf("%w: %v", errBackendFault, err)
 		}
 		for _, l := range req.Labels {
-			id := g.FindLabel(l)
-			if id < 0 {
+			hits, err := eng.FindLabel(l)
+			if err != nil {
+				// Label-index read failure — server-side, not the client.
+				return fmt.Errorf("%w: %v", errBackendFault, err)
+			}
+			if len(hits) == 0 {
 				return fmt.Errorf("label %q not found", l)
 			}
-			sources = append(sources, id)
+			sources = append(sources, hits[0].Node)
 		}
 		return nil
 	})
 	if err != nil {
 		status := http.StatusBadRequest
-		if err == errSessionGone {
+		switch {
+		case err == errSessionGone:
 			status = http.StatusNotFound
-		} else if sess.diskBacked {
+		case errors.Is(err, core.ErrNoCSR):
 			status = http.StatusConflict
+			err = fmt.Errorf("session %q was opened from a v1 G-Tree file without a CSR section; "+
+				"re-save the tree with the current gmine (build + save) to enable extraction: %w", sess.name, err)
+		case errors.Is(err, errBackendFault):
+			status = http.StatusInternalServerError
 		}
 		return p, status, err
 	}

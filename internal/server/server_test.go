@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dblp"
 	"repro/internal/graph"
+	"repro/internal/gtree"
 )
 
 // newTestServer returns a server plus an httptest frontend over its
@@ -396,11 +397,175 @@ func TestDiskBackedSession(t *testing.T) {
 		t.Fatalf("disk analysis: status %d", resp.StatusCode)
 	}
 
-	// Extraction needs the resident graph: 409 Conflict.
+	// Extraction runs out of core over the paged CSR and matches a
+	// memory-backed session over the same graph field for field.
 	resp = postJSON(t, ts.URL+"/sessions/disk/extract", ExtractRequest{Sources: []int32{0, 1}})
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("disk extract: status %d, want 409", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("disk extract: status %d, want 200 (%s)", resp.StatusCode, b)
+	}
+	got := decodeBody[extractResponse](t, resp)
+	if len(got.Nodes) == 0 || got.TotalGoodness <= 0 {
+		t.Fatalf("disk extract returned empty result: %+v", got)
+	}
+
+	// Per-session info and /healthz expose the buffer-pool counters.
+	info = decodeBody[SessionInfo](t, mustGet(t, ts.URL+"/sessions/disk"))
+	if info.Pool == nil || !info.Pool.HasCSR || info.Pool.FilePages == 0 {
+		t.Fatalf("disk session info misses pool stats: %+v", info.Pool)
+	}
+	if info.Pool.Hits+info.Pool.Misses == 0 {
+		t.Fatal("pool counters flat after paged extraction")
+	}
+	h := decodeBody[healthResponse](t, mustGet(t, ts.URL+"/healthz"))
+	if _, ok := h.Pools["disk"]; !ok {
+		t.Fatalf("healthz misses pool stats for disk session: %+v", h.Pools)
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("GET %s: status %d (%s)", url, resp.StatusCode, b)
+	}
+	return resp
+}
+
+// TestDiskBackedExtractMatchesMemory opens the same graph as a memory
+// session and a v2 gtree session and requires identical extraction
+// responses (modulo the session name), single and batch, serial and
+// parallel.
+func TestDiskBackedExtractMatchesMemory(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	ds := dblp.SmallFixture()
+	eng, err := core.BuildEngine(ds.Graph, core.BuildConfig{K: 3, Levels: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "small.gtree")
+	if err := eng.SaveTree(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The memory session must partition the same graph; write it as an
+	// edge list so both sessions share one input.
+	epath := filepath.Join(t.TempDir(), "small.edges")
+	f, err := os.Create(epath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, ds.Graph); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	for _, req := range []CreateSessionRequest{
+		{Name: "mem", Source: "edges", Path: epath, K: 3, Levels: 3, Seed: 1},
+		{Name: "disk", Source: "gtree", Path: path, PoolPages: 32},
+	} {
+		resp := postJSON(t, ts.URL+"/sessions", req)
+		if resp.StatusCode != http.StatusCreated {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("create %s: status %d (%s)", req.Name, resp.StatusCode, b)
+		}
+		resp.Body.Close()
+	}
+
+	normalize := func(r extractResponse) extractResponse {
+		r.Session = ""
+		return r
+	}
+	for _, req := range []ExtractRequest{
+		{Sources: []int32{0, 5}, Budget: 12},
+		{Sources: []int32{1, 8, 3}, Budget: 20, Mode: "or", Parallel: 3},
+		{Labels: []string{dblp.NamePhilipYu, dblp.NameFlipKorn}, Budget: 15, Mode: "ksoft", K: 2},
+	} {
+		mem := decodeBody[extractResponse](t, postJSON(t, ts.URL+"/sessions/mem/extract", req))
+		disk := decodeBody[extractResponse](t, postJSON(t, ts.URL+"/sessions/disk/extract", req))
+		memJS, _ := json.Marshal(normalize(mem))
+		diskJS, _ := json.Marshal(normalize(disk))
+		if !bytes.Equal(memJS, diskJS) {
+			t.Fatalf("memory and paged extraction diverged for %+v:\nmem:  %s\ndisk: %s", req, memJS, diskJS)
+		}
+	}
+
+	// Batch extraction routes through the same shared paged view.
+	batch := BatchExtractRequest{Requests: []ExtractRequest{
+		{Sources: []int32{0, 5}, Budget: 12},
+		{Sources: []int32{2, 9}, Budget: 10},
+	}}
+	resp := postJSON(t, ts.URL+"/sessions/disk/extract/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("disk batch: status %d (%s)", resp.StatusCode, b)
+	}
+	br := decodeBody[BatchExtractResponse](t, resp)
+	if br.Succeeded != 2 || br.Failed != 0 {
+		t.Fatalf("disk batch: %d ok / %d failed: %+v", br.Succeeded, br.Failed, br.Results)
+	}
+}
+
+// TestV1FileExtractConflict pins the 409 contract: a session opened from a
+// legacy v1 file (no CSR section) serves navigation and labels but answers
+// extraction with StatusConflict and an actionable message.
+func TestV1FileExtractConflict(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	ds := dblp.SmallFixture()
+	eng, err := core.BuildEngine(ds.Graph, core.BuildConfig{K: 3, Levels: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.gtree")
+	if err := gtree.SaveLegacy(eng.Tree(), ds.Graph, path, 0); err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/sessions", CreateSessionRequest{Name: "v1", Source: "gtree", Path: path})
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("open v1 file: status %d (%s)", resp.StatusCode, b)
+	}
+	resp.Body.Close()
+
+	// Tree, scene and labels still work.
+	mustGet(t, ts.URL+"/sessions/v1/tree").Body.Close()
+	mustGet(t, ts.URL+"/sessions/v1/scene").Body.Close()
+	mustGet(t, ts.URL+"/sessions/v1/labels?prefix=A").Body.Close()
+
+	// Extraction: 409 with re-save guidance, for ids and labels alike.
+	for _, req := range []ExtractRequest{
+		{Sources: []int32{0, 1}},
+		{Labels: []string{dblp.NamePhilipYu}},
+	} {
+		resp := postJSON(t, ts.URL+"/sessions/v1/extract", req)
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("v1 extract: status %d, want 409 (%s)", resp.StatusCode, b)
+		}
+		if !strings.Contains(string(b), "re-save") {
+			t.Fatalf("v1 extract error not actionable: %s", b)
+		}
+	}
+	// Batch items report the same conflict per item.
+	resp = postJSON(t, ts.URL+"/sessions/v1/extract/batch", BatchExtractRequest{
+		Requests: []ExtractRequest{{Sources: []int32{0, 1}}},
+	})
+	br := decodeBody[BatchExtractResponse](t, resp)
+	if br.Failed != 1 || br.Results[0].Status != http.StatusConflict {
+		t.Fatalf("v1 batch item: %+v", br.Results)
+	}
+	// Session info reports the missing CSR section.
+	info := decodeBody[SessionInfo](t, mustGet(t, ts.URL+"/sessions/v1"))
+	if info.Pool == nil || info.Pool.HasCSR {
+		t.Fatalf("v1 session pool info should report hasCSR=false: %+v", info.Pool)
 	}
 }
 

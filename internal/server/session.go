@@ -47,6 +47,20 @@ func (s *Session) withRead(fn func(eng *core.Engine) error) error {
 	return fn(s.eng)
 }
 
+// tryRead is withRead without blocking: if the session is write-locked
+// (building or being deleted) it returns errSessionGone immediately.
+// Liveness surfaces use it so they never queue behind a long build.
+func (s *Session) tryRead(fn func(eng *core.Engine) error) error {
+	if !s.mu.TryRLock() {
+		return errSessionGone
+	}
+	defer s.mu.RUnlock()
+	if s.eng == nil {
+		return errSessionGone
+	}
+	return fn(s.eng)
+}
+
 // SessionInfo is the wire representation of a session.
 type SessionInfo struct {
 	Name        string    `json:"name"`
@@ -59,6 +73,10 @@ type SessionInfo struct {
 	DiskBacked  bool      `json:"diskBacked"`
 	CreatedAt   time.Time `json:"createdAt"`
 	BuildMillis int64     `json:"buildMillis"`
+	// Pool reports the buffer-pool state of disk-backed sessions (nil for
+	// memory-backed ones): how much of the paged file is resident and how
+	// the working set is behaving under load.
+	Pool *PoolInfo `json:"pool,omitempty"`
 }
 
 // info snapshots the session under the read lock.
@@ -77,6 +95,9 @@ func (s *Session) info() (SessionInfo, error) {
 			DiskBacked:  s.diskBacked,
 			CreatedAt:   s.createdAt,
 			BuildMillis: s.buildMillis,
+		}
+		if store := eng.Store(); store != nil {
+			out.Pool = poolInfoFrom(store)
 		}
 		return nil
 	})

@@ -67,6 +67,21 @@ func BlobPages(n, payloadSize int) int {
 	return 1 + (rest+payloadSize-1)/payloadSize
 }
 
+// blobLen validates a blob's recorded length against the pages actually
+// present after its first page, so a corrupt header cannot drive a
+// multi-gigabyte allocation or a read past the end of the file.
+func blobLen(p *Pager, id PageID, header uint32) (int, error) {
+	payload := int64(p.PayloadSize())
+	max := (int64(p.NumPages())-int64(id))*payload - 4
+	if max < 0 {
+		max = 0
+	}
+	if int64(header) > max {
+		return 0, fmt.Errorf("storage: blob at page %d claims %d bytes, file holds at most %d", id, header, max)
+	}
+	return int(header), nil
+}
+
 // ReadBlob reads the blob starting at page id through the buffer pool.
 // Pages are pinned only for the duration of the copy.
 func ReadBlob(bp *BufferPool, id PageID) ([]byte, error) {
@@ -75,7 +90,11 @@ func ReadBlob(bp *BufferPool, id PageID) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := int(binary.LittleEndian.Uint32(pg[:4]))
+	n, err := blobLen(bp.pager, id, binary.LittleEndian.Uint32(pg[:4]))
+	if err != nil {
+		bp.Release(id)
+		return nil, err
+	}
 	out := make([]byte, 0, n)
 	take := payload - 4
 	if take > n {
@@ -107,7 +126,10 @@ func ReadBlobDirect(p *Pager, id PageID) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := int(binary.LittleEndian.Uint32(pg[:4]))
+	n, err := blobLen(p, id, binary.LittleEndian.Uint32(pg[:4]))
+	if err != nil {
+		return nil, err
+	}
 	out := make([]byte, 0, n)
 	take := payload - 4
 	if take > n {

@@ -2,7 +2,6 @@ package storage
 
 import (
 	"container/list"
-	"fmt"
 	"sync"
 )
 
@@ -28,6 +27,7 @@ type frame struct {
 // pages outside the current working set (experiment E10).
 type BufferPool struct {
 	mu     sync.Mutex
+	cond   *sync.Cond // signaled when a frame becomes unpinned
 	pager  *Pager
 	cap    int
 	frames map[PageID]*frame
@@ -40,33 +40,56 @@ func NewBufferPool(pager *Pager, capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
+	bp := &BufferPool{
 		pager:  pager,
 		cap:    capacity,
 		frames: make(map[PageID]*frame, capacity),
 		lru:    list.New(),
 	}
+	bp.cond = sync.NewCond(&bp.mu)
+	return bp
 }
 
 // Get returns the payload of page id, pinning it. The returned slice is the
 // pool's frame; callers must not retain it past Release and must not write
 // to it.
+//
+// When every frame is pinned by concurrent readers, Get waits for a
+// Release instead of failing, so a pool smaller than the momentary reader
+// count degrades to serialized paging rather than spurious I/O errors
+// (e.g. a tiny -pool with a wide extraction worker fan-out). The waiting
+// is deadlock-free as long as no caller holds a pin while requesting
+// another page — every reader in this repo (blob, run, leaf) pins exactly
+// one page at a time and releases it before the next Get; keep it that
+// way.
 func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
-	if fr, ok := bp.frames[id]; ok {
-		bp.stats.Hits++
-		fr.pins++
-		if fr.elem != nil {
-			bp.lru.Remove(fr.elem)
-			fr.elem = nil
+	for {
+		if fr, ok := bp.frames[id]; ok {
+			bp.stats.Hits++
+			fr.pins++
+			if fr.elem != nil {
+				bp.lru.Remove(fr.elem)
+				fr.elem = nil
+			}
+			return fr.data, nil
 		}
-		return fr.data, nil
+		if len(bp.frames) < bp.cap {
+			break
+		}
+		if back := bp.lru.Back(); back != nil {
+			victim := back.Value.(PageID)
+			bp.lru.Remove(back)
+			delete(bp.frames, victim)
+			bp.stats.Evictions++
+			continue
+		}
+		// Every frame is pinned: wait for a Release, then re-check from
+		// scratch (the wanted page may have been loaded meanwhile).
+		bp.cond.Wait()
 	}
 	bp.stats.Misses++
-	if err := bp.evictLocked(); err != nil {
-		return nil, err
-	}
 	data, err := bp.pager.ReadPage(id)
 	if err != nil {
 		return nil, err
@@ -76,23 +99,8 @@ func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 	return fr.data, nil
 }
 
-// evictLocked makes room for one more frame if at capacity.
-func (bp *BufferPool) evictLocked() error {
-	for len(bp.frames) >= bp.cap {
-		back := bp.lru.Back()
-		if back == nil {
-			return fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", bp.cap)
-		}
-		victim := back.Value.(PageID)
-		bp.lru.Remove(back)
-		delete(bp.frames, victim)
-		bp.stats.Evictions++
-	}
-	return nil
-}
-
 // Release unpins page id. Fully unpinned pages become evictable (most
-// recently used first to be kept).
+// recently used first to be kept) and wake any Get waiting for a frame.
 func (bp *BufferPool) Release(id PageID) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
@@ -103,6 +111,7 @@ func (bp *BufferPool) Release(id PageID) {
 	fr.pins--
 	if fr.pins == 0 {
 		fr.elem = bp.lru.PushFront(id)
+		bp.cond.Broadcast()
 	}
 }
 

@@ -1,0 +1,127 @@
+package storage
+
+import "fmt"
+
+// Fixed-stride page runs: large arrays of same-sized elements stored in
+// consecutive pages, with floor(PayloadSize/stride) whole elements per page
+// (no element ever straddles a page boundary). Unlike the blob layer there
+// is no length header, so the address of element i is pure arithmetic:
+//
+//	page   = first + i/perPage
+//	offset = (i%perPage) * stride
+//
+// which is what lets a paged CSR read one node's neighbor range without
+// touching the rest of the array — the substrate of the out-of-core query
+// engine. Because the pager is append-only, runs written by WriteRun are
+// always contiguous and addressed by their first PageID alone.
+
+// RunPerPage returns how many stride-sized elements fit in one page.
+func RunPerPage(stride, payloadSize int) int {
+	if stride <= 0 {
+		return 0
+	}
+	return payloadSize / stride
+}
+
+// RunPages returns how many pages a run of count elements occupies.
+func RunPages(count, stride, payloadSize int) int {
+	per := RunPerPage(stride, payloadSize)
+	if per <= 0 || count <= 0 {
+		return 0
+	}
+	return (count + per - 1) / per
+}
+
+// WriteRun appends data (len(data) must be a multiple of stride) as a new
+// fixed-stride page run and returns its first page id. A run of zero
+// elements occupies no pages and returns 0.
+func WriteRun(p *Pager, data []byte, stride int) (PageID, error) {
+	if stride <= 0 || stride > p.PayloadSize() {
+		return 0, fmt.Errorf("storage: run stride %d out of range (payload %d)", stride, p.PayloadSize())
+	}
+	if len(data)%stride != 0 {
+		return 0, fmt.Errorf("storage: run data %d bytes not a multiple of stride %d", len(data), stride)
+	}
+	perBytes := RunPerPage(stride, p.PayloadSize()) * stride
+	var first PageID
+	for off := 0; off < len(data); off += perBytes {
+		end := off + perBytes
+		if end > len(data) {
+			end = len(data)
+		}
+		id, err := p.Allocate()
+		if err != nil {
+			return 0, err
+		}
+		if off == 0 {
+			first = id
+		}
+		if err := p.WritePage(id, data[off:end]); err != nil {
+			return 0, err
+		}
+	}
+	return first, nil
+}
+
+// RunReader reads element ranges of a fixed-stride page run through a
+// buffer pool. Pages are pinned only while their elements are copied out,
+// so a reader's resident footprint is always bounded by the pool. Safe for
+// concurrent use (the pool serializes page access).
+type RunReader struct {
+	pool    *BufferPool
+	first   PageID
+	stride  int
+	perPage int
+	count   int
+}
+
+// NewRunReader wraps the run of count stride-sized elements starting at
+// first. It validates that the run lies inside the file, so a corrupt
+// superblock cannot direct reads past the end.
+func NewRunReader(pool *BufferPool, first PageID, stride, count int) (*RunReader, error) {
+	payload := pool.pager.PayloadSize()
+	if stride <= 0 || stride > payload {
+		return nil, fmt.Errorf("storage: run stride %d out of range (payload %d)", stride, payload)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("storage: negative run length %d", count)
+	}
+	pages := RunPages(count, stride, payload)
+	if count > 0 && (first == 0 || int64(first)+int64(pages) > int64(pool.pager.NumPages())) {
+		return nil, fmt.Errorf("storage: run of %d pages at %d exceeds file (%d pages)",
+			pages, first, pool.pager.NumPages())
+	}
+	return &RunReader{pool: pool, first: first, stride: stride, perPage: RunPerPage(stride, payload), count: count}, nil
+}
+
+// Count returns the number of elements in the run.
+func (r *RunReader) Count() int { return r.count }
+
+// Read copies elements [lo,hi) into dst, which must hold (hi-lo)*stride
+// bytes. Each underlying page is pinned once for the copy and released
+// before the next page is touched.
+func (r *RunReader) Read(lo, hi int, dst []byte) error {
+	if lo < 0 || hi < lo || hi > r.count {
+		return fmt.Errorf("storage: run range [%d,%d) out of bounds (count %d)", lo, hi, r.count)
+	}
+	if len(dst) < (hi-lo)*r.stride {
+		return fmt.Errorf("storage: run dst %d bytes, need %d", len(dst), (hi-lo)*r.stride)
+	}
+	out := 0
+	for i := lo; i < hi; {
+		pg := r.first + PageID(i/r.perPage)
+		data, err := r.pool.Get(pg)
+		if err != nil {
+			return err
+		}
+		j := i - i%r.perPage + r.perPage // first element of the next page
+		if j > hi {
+			j = hi
+		}
+		off := (i % r.perPage) * r.stride
+		out += copy(dst[out:], data[off:off+(j-i)*r.stride])
+		r.pool.Release(pg)
+		i = j
+	}
+	return nil
+}

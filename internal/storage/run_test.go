@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunRoundTrip writes runs of several strides and counts and reads
+// every possible range back through a tiny pool.
+func TestRunRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.gmine")
+	p, err := Create(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	type run struct {
+		stride, count int
+		first         PageID
+		data          []byte
+	}
+	runs := []run{{4, 0, 0, nil}, {4, 1, 0, nil}, {4, 63, 0, nil}, {8, 200, 0, nil}, {3, 100, 0, nil}}
+	for i := range runs {
+		r := &runs[i]
+		r.data = make([]byte, r.stride*r.count)
+		for j := range r.data {
+			r.data[j] = byte(i*31 + j)
+		}
+		if r.first, err = WriteRun(p, r.data, r.stride); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool := NewBufferPool(p, 2)
+	for i := range runs {
+		r := &runs[i]
+		rd, err := NewRunReader(pool, r.first, r.stride, r.count)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		for lo := 0; lo <= r.count; lo += 1 + r.count/7 {
+			for hi := lo; hi <= r.count; hi += 1 + r.count/5 {
+				dst := make([]byte, (hi-lo)*r.stride)
+				if err := rd.Read(lo, hi, dst); err != nil {
+					t.Fatalf("run %d [%d,%d): %v", i, lo, hi, err)
+				}
+				if !bytes.Equal(dst, r.data[lo*r.stride:hi*r.stride]) {
+					t.Fatalf("run %d [%d,%d): data mismatch", i, lo, hi)
+				}
+			}
+		}
+	}
+	if st := pool.Stats(); st.Evictions == 0 {
+		t.Fatal("expected evictions from a 2-frame pool over multi-page runs")
+	}
+}
+
+// TestRunReaderBounds checks constructor and range validation.
+func TestRunReaderBounds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rb.gmine")
+	p, err := Create(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	data := make([]byte, 4*100)
+	first, err := WriteRun(p, data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewBufferPool(p, 4)
+	// Claiming more elements than the file holds must fail at construction.
+	if _, err := NewRunReader(pool, first, 4, 1<<20); err == nil {
+		t.Fatal("oversized run accepted")
+	}
+	if _, err := NewRunReader(pool, first, 0, 100); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+	rd, err := NewRunReader(pool, first, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rd.Read(90, 101, make([]byte, 11*4)); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if err := rd.Read(0, 10, make([]byte, 4)); err == nil {
+		t.Fatal("short dst accepted")
+	}
+}

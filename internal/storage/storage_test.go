@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func tmpFile(t *testing.T) string {
@@ -247,13 +248,29 @@ func TestBufferPoolPinnedPagesNotEvicted(t *testing.T) {
 	if _, err := bp.Get(a); err != nil {
 		t.Fatal(err)
 	}
-	// Pool is full with a pinned page: the next Get must fail, not evict.
-	if _, err := bp.Get(b); err == nil {
-		t.Fatal("evicted a pinned page")
+	// Pool is full with a pinned page: a concurrent Get must wait for the
+	// release — never evict the pinned page, never fail spuriously.
+	got := make(chan error, 1)
+	go func() {
+		_, err := bp.Get(b)
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		t.Fatalf("Get on an all-pinned pool returned early (err=%v) instead of waiting", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if bp.Resident() != 1 {
+		t.Fatalf("pinned page evicted: %d resident", bp.Resident())
 	}
 	bp.Release(a)
-	if _, err := bp.Get(b); err != nil {
-		t.Fatalf("after release: %v", err)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("after release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiting Get never woke after Release")
 	}
 	bp.Release(b)
 }
