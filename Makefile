@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench fmt
+# bench-json knobs: which benchmarks feed the perf-trajectory artifact and
+# how long each runs. 1s gives stable ns/op; drop to e.g. 5x for a quick
+# local look.
+BENCHTIME ?= 1s
+BENCH_JSON_PATTERN ?= 'BenchmarkExtractMemoryVsPaged|BenchmarkExtractPagedViaNeighbors|BenchmarkPageRankMemoryVsPaged|BenchmarkRWRMultiFanout|BenchmarkRWRPushVsPower'
+
+.PHONY: all build vet test race check bench bench-json fmt
 
 all: check
 
@@ -21,6 +27,16 @@ check: build vet race
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx ./...
+
+# Runs the key extraction/PageRank benchmarks (ns/op + allocs/op, memory
+# vs paged vs the allocating Neighbors path) and writes BENCH_extract.json
+# for the CI artifact, so the perf trajectory of the hot paths gets
+# recorded run over run.
+bench-json:
+	$(GO) test -run '^$$' -bench $(BENCH_JSON_PATTERN) -benchtime=$(BENCHTIME) -benchmem . > BENCH_extract.txt
+	$(GO) run ./cmd/benchjson < BENCH_extract.txt > BENCH_extract.json
+	@rm -f BENCH_extract.txt
+	@echo wrote BENCH_extract.json
 
 fmt:
 	gofmt -l -w .

@@ -438,6 +438,104 @@ func BenchmarkExtractMemoryVsPaged(b *testing.B) {
 	}
 }
 
+// viaNeighborsBench forces every NeighborsInto through the copying
+// Neighbors path — the pre-fast-path behavior — so the benchmarks can
+// show what the zero-alloc conversion buys on the paged backend.
+type viaNeighborsBench struct{ gmine.Adjacency }
+
+func (v viaNeighborsBench) NeighborsInto(u gmine.NodeID, nbrBuf []gmine.NodeID, wBuf []float64) ([]gmine.NodeID, []float64) {
+	nbrs, ws := v.Adjacency.Neighbors(u)
+	return append(nbrBuf, nbrs...), append(wBuf, ws...)
+}
+
+// BenchmarkPageRankMemoryVsPaged contrasts whole-graph PageRank — the
+// workload behind GET /sessions/{id}/analysis/graph — on the in-memory
+// CSR against the out-of-core paged CSR, plus the paged run forced
+// through the allocating Neighbors path. Watch allocs/op: the
+// NeighborsInto runs page the same data with O(1) garbage per node visit
+// where the Neighbors path allocates two O(degree) slices.
+func BenchmarkPageRankMemoryVsPaged(b *testing.B) {
+	setup(b)
+	opts := gmine.PageRankOptions{}
+	b.Run("MemoryCSR", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := benchEng.PageRank(opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, pool := range []int{256, 4096} {
+		b.Run(fmt.Sprintf("Paged/pool=%d", pool), func(b *testing.B) {
+			disk, err := gmine.Open(benchTree, pool)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer disk.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := disk.PageRank(opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := disk.Store().PoolInfo()
+			b.ReportMetric(float64(st.Evictions)/float64(b.N), "evictions/op")
+		})
+	}
+	b.Run("PagedViaNeighbors/pool=4096", func(b *testing.B) {
+		disk, err := gmine.Open(benchTree, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer disk.Close()
+		adj, err := disk.Adj()
+		if err != nil {
+			b.Fatal(err)
+		}
+		slow := viaNeighborsBench{adj}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if pr := gmine.PageRankAdj(slow, opts); len(pr) == 0 {
+				b.Fatal("empty pagerank")
+			}
+		}
+	})
+}
+
+// BenchmarkExtractPagedViaNeighbors is the extraction-side contrast for
+// BenchmarkExtractMemoryVsPaged: the same paged multi-source extraction
+// forced through the copying Neighbors path. Diff its allocs/op against
+// Paged/pool=4096 above to see what NeighborsInto removed.
+func BenchmarkExtractPagedViaNeighbors(b *testing.B) {
+	setup(b)
+	sources := []gmine.NodeID{
+		benchDS.Notables[gmine.NamePhilipYu],
+		benchDS.Notables[gmine.NameFlipKorn],
+		benchDS.Notables[gmine.NameGarofalakis],
+	}
+	opts := gmine.ExtractOptions{Budget: 30}
+	disk, err := gmine.Open(benchTree, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer disk.Close()
+	adj, err := disk.Adj()
+	if err != nil {
+		b.Fatal(err)
+	}
+	slow := viaNeighborsBench{adj}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gmine.ConnectionSubgraphAdj(slow, false, nil, sources, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkANFVsExactHopPlot contrasts the sketch-based neighborhood
 // function against exact all-sources BFS on the bench graph.
 func BenchmarkANFVsExactHopPlot(b *testing.B) {

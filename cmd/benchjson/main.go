@@ -1,0 +1,123 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// machine-readable JSON report (stdout), so CI can archive ns/op and
+// allocs/op per benchmark and the perf trajectory of the hot paths gets
+// recorded run over run instead of living in scrollback.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson > BENCH.json
+//
+// Lines that are not benchmark results (pkg headers, PASS, ok) are either
+// captured as environment metadata (goos/goarch/pkg/cpu) or ignored, so
+// the tool can be fed the raw `go test` stream.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one result line in parsed form.
+type Benchmark struct {
+	// Name is the benchmark path without the trailing -GOMAXPROCS suffix
+	// (e.g. "BenchmarkExtractMemoryVsPaged/Paged/pool=256").
+	Name string `json:"name"`
+	// Procs is the -cpu value the run used (the -N suffix), 0 if absent.
+	Procs      int   `json:"procs,omitempty"`
+	Iterations int64 `json:"iterations"`
+	// NsPerOp / BytesPerOp / AllocsPerOp mirror the standard units.
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  float64 `json:"bytesPerOp,omitempty"`
+	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
+	// Metrics carries any custom b.ReportMetric units (e.g. evictions/op).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the document written to stdout.
+type Report struct {
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep := Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		if b, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one `BenchmarkX-8  N  V unit  V unit ...` line.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0]}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+	}
+	return b, true
+}

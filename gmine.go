@@ -239,6 +239,19 @@ var (
 // PageRankOptions tunes PageRank.
 type PageRankOptions = analysis.PageRankOptions
 
+// GraphAnalysis is the whole-graph analysis suite of Engine.AnalyzeGraph:
+// degree distribution, connected components, self-loops and PageRank over
+// the engine's shared adjacency — out of core on disk-backed engines, with
+// bit-identical results across backends.
+type GraphAnalysis = core.GraphAnalysis
+
+// AdjacencyReport is the Adjacency-only half of the whole-graph suite
+// (degrees, components, self-loops), computed in one adjacency sweep.
+type AdjacencyReport = analysis.AdjacencyReport
+
+// ReportAdj computes the whole-graph structure metrics over any Adjacency.
+var ReportAdj = analysis.ReportAdj
+
 // ANFOptions / ComputeANF expose the approximate neighborhood function
 // (hop plots on full-scale graphs without n BFS runs).
 type ANFOptions = analysis.ANFOptions

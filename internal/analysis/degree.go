@@ -52,14 +52,23 @@ func DegreeDistribution(g *graph.Graph) DegreeStats {
 
 // fitPowerLaw regresses log(count) on log(degree) over nonzero degrees.
 // Returns the negated slope (the conventional positive exponent), or NaN
-// if fewer than two distinct positive degrees occur.
+// if fewer than two distinct positive degrees occur. Degrees are summed in
+// sorted order so the float accumulation — and therefore the exponent's
+// exact bits — is deterministic for a given histogram (whole-graph
+// analysis compares backends bit for bit).
 func fitPowerLaw(hist map[int]int) float64 {
-	var xs, ys []float64
+	degrees := make([]int, 0, len(hist))
 	for d, c := range hist {
 		if d > 0 && c > 0 {
-			xs = append(xs, math.Log(float64(d)))
-			ys = append(ys, math.Log(float64(c)))
+			degrees = append(degrees, d)
 		}
+	}
+	sort.Ints(degrees)
+	xs := make([]float64, 0, len(degrees))
+	ys := make([]float64, 0, len(degrees))
+	for _, d := range degrees {
+		xs = append(xs, math.Log(float64(d)))
+		ys = append(ys, math.Log(float64(hist[d])))
 	}
 	if len(xs) < 2 {
 		return math.NaN()

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// AdjacencyReport bundles the whole-graph metrics computable from an
+// Adjacency alone — the workload of the "Large Graph Analysis in the GMine
+// System" follow-up, answered out of core when the adjacency is a paged
+// CSR. PageRank is layered on top by core.Engine.AnalyzeGraph, which adds
+// the paged fault discipline around the iteration.
+type AdjacencyReport struct {
+	// Nodes and HalfEdges are the adjacency's geometry; Edges is the
+	// logical edge count implied by directedness (undirected adjacencies
+	// store two half-edges per edge but self-loops only once).
+	Nodes     int
+	HalfEdges int
+	Edges     int
+	SelfLoops int
+	// Degree summarizes the stored-degree distribution (out-degree for
+	// directed graphs), with the deterministic power-law fit.
+	Degree DegreeStats
+	// WeakComponents counts connected components with edge direction
+	// ignored; LargestComponent is the node count of the biggest one.
+	WeakComponents   int
+	LargestComponent int
+}
+
+// ReportAdj computes the whole-graph metric suite in ONE adjacency sweep:
+// degree histogram, self-loop count and union-find connectivity all come
+// from the same ids-only neighbor pass, so a disk-backed graph is paged
+// through the buffer pool once, not once per metric. Results are
+// deterministic and identical across Adjacency implementations of the
+// same graph.
+func ReportAdj(adj graph.Adjacency, directed bool) AdjacencyReport {
+	n := adj.N()
+	rep := AdjacencyReport{
+		Nodes:     n,
+		HalfEdges: adj.HalfEdges(),
+		Degree:    DegreeStats{Histogram: map[int]int{}, PowerLawExponent: math.NaN()},
+	}
+	if n == 0 {
+		return rep
+	}
+
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+
+	rep.Degree.Min = math.MaxInt
+	total := 0
+	// The structure sweep needs only the neighbor ids; the ids-only fast
+	// path keeps a paged sweep from reading (and evicting id pages for)
+	// the EdgeW run it would never look at.
+	var nbrs []graph.NodeID
+	for u := 0; u < n; u++ {
+		nbrs = graph.NeighborIDs(adj, graph.NodeID(u), nbrs[:0])
+		d := len(nbrs)
+		rep.Degree.Histogram[d]++
+		total += d
+		if d < rep.Degree.Min {
+			rep.Degree.Min = d
+		}
+		if d > rep.Degree.Max {
+			rep.Degree.Max = d
+		}
+		for _, v := range nbrs {
+			if int(v) == u {
+				rep.SelfLoops++
+			}
+			if ra, rb := find(int32(u)), find(int32(v)); ra != rb {
+				parent[ra] = rb
+			}
+		}
+	}
+	rep.Degree.Mean = float64(total) / float64(n)
+	rep.Degree.PowerLawExponent = fitPowerLaw(rep.Degree.Histogram)
+
+	if directed {
+		rep.Edges = rep.HalfEdges
+	} else {
+		// Undirected adjacencies store both half-edges except for
+		// self-loops, which appear once.
+		rep.Edges = (rep.HalfEdges + rep.SelfLoops) / 2
+	}
+
+	sizes := map[int32]int{}
+	for u := 0; u < n; u++ {
+		sizes[find(int32(u))]++
+	}
+	rep.WeakComponents = len(sizes)
+	for _, s := range sizes {
+		if s > rep.LargestComponent {
+			rep.LargestComponent = s
+		}
+	}
+	return rep
+}

@@ -64,6 +64,10 @@ func PageRankAdj(c graph.Adjacency, opts PageRankOptions) []float64 {
 		rank[i] = inv
 	}
 	wdeg := c.WeightedDegrees()
+	// One buffer pair for the whole iteration (this goroutine only): the
+	// paged backend decodes into it instead of allocating per node sweep.
+	var nbrs []graph.NodeID
+	var ws []float64
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		var dangling float64
 		for u := 0; u < n; u++ {
@@ -80,7 +84,7 @@ func PageRankAdj(c graph.Adjacency, opts PageRankOptions) []float64 {
 				continue
 			}
 			share := opts.Damping * rank[u] / wdeg[u]
-			nbrs, ws := c.Neighbors(graph.NodeID(u))
+			nbrs, ws = c.NeighborsInto(graph.NodeID(u), nbrs[:0], ws[:0])
 			for i, v := range nbrs {
 				next[v] += share * ws[i]
 			}

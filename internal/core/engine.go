@@ -333,41 +333,65 @@ func (e *Engine) SearchLabelPrefix(prefix string, limit int) ([]LabelHit, error)
 
 // --- Extraction --------------------------------------------------------------
 
+// withFaultCheck runs fn under the paged fault-epoch protocol: a paged
+// adjacency cannot surface I/O faults through the Adjacency methods, it
+// counts them instead, so the bracket snapshots the fault epoch, runs the
+// solve, and fails it if any fault landed in between. The protocol is
+// per-query — concurrent solves on the shared view cannot steal each
+// other's faults, and a transient fault fails only the queries that
+// overlapped it, not the session. For in-memory adjacencies fn runs bare.
+// This helper is the single home of the protocol; every whole-graph query
+// path (Extract, PageRank, AnalyzeGraph) must go through it.
+func (e *Engine) withFaultCheck(adj graph.Adjacency, fn func() error) error {
+	paged, isPaged := adj.(*gtree.PagedCSR)
+	if !isPaged {
+		return fn()
+	}
+	epoch := paged.Faults()
+	if err := fn(); err != nil {
+		return err
+	}
+	if perr := paged.ErrSince(epoch); perr != nil {
+		return fmt.Errorf("%w: %v", ErrPagedIO, perr)
+	}
+	return nil
+}
+
+// preloadLabelsIfPaged loads the persisted label index up front on
+// disk-backed engines: result labels are annotated through an error-less
+// lookup, so a failed index read must fail the query instead of silently
+// stripping labels.
+func (e *Engine) preloadLabelsIfPaged() error {
+	if e.store == nil {
+		return nil
+	}
+	if err := e.store.PreloadLabels(); err != nil {
+		return fmt.Errorf("%w: %v", ErrPagedIO, err)
+	}
+	return nil
+}
+
 // Extract runs the multi-source connection subgraph extraction (§IV) over
 // the engine's shared adjacency. Memory-backed engines solve on the
 // resident CSR; disk-backed engines solve out of core on the paged CSR,
 // with bit-identical results over the same graph. Disk-backed engines
-// opened from a v1 file (no CSR section) return ErrNoCSR.
+// opened from a v1 file (no CSR section) return ErrNoCSR; any paged read
+// fault during the solve fails it with ErrPagedIO.
 func (e *Engine) Extract(sources []graph.NodeID, opts extract.Options) (*extract.Result, error) {
 	adj, err := e.Adj()
 	if err != nil {
 		return nil, err
 	}
-	// A paged adjacency cannot surface I/O faults through the Adjacency
-	// methods; it counts them instead. Snapshot the fault epoch, solve,
-	// and discard the result if any fault landed in between — the epoch
-	// protocol is per-query, so concurrent extractions on the shared view
-	// cannot steal each other's faults, and a transient fault fails only
-	// the queries that overlapped it, not the session.
-	paged, isPaged := adj.(*gtree.PagedCSR)
-	var epoch uint64
-	if isPaged {
-		// Labels annotate the result through an error-less lookup; load
-		// the index up front so a failed read fails the query instead of
-		// silently stripping labels.
-		if err := e.store.PreloadLabels(); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrPagedIO, err)
-		}
-		epoch = paged.Faults()
-	}
-	res, err := extract.ConnectionSubgraphAdj(adj, e.directed(), e.labelOf(), sources, opts)
-	if err != nil {
+	if err := e.preloadLabelsIfPaged(); err != nil {
 		return nil, err
 	}
-	if isPaged {
-		if perr := paged.ErrSince(epoch); perr != nil {
-			return nil, fmt.Errorf("%w: %v", ErrPagedIO, perr)
-		}
+	var res *extract.Result
+	if err := e.withFaultCheck(adj, func() error {
+		var err error
+		res, err = extract.ConnectionSubgraphAdj(adj, e.directed(), e.labelOf(), sources, opts)
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -381,18 +405,68 @@ func (e *Engine) PageRank(opts analysis.PageRankOptions) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	paged, isPaged := adj.(*gtree.PagedCSR)
-	var epoch uint64
-	if isPaged {
-		epoch = paged.Faults()
-	}
-	ranks := analysis.PageRankAdj(adj, opts)
-	if isPaged {
-		if perr := paged.ErrSince(epoch); perr != nil {
-			return nil, fmt.Errorf("%w: %v", ErrPagedIO, perr)
-		}
+	var ranks []float64
+	if err := e.withFaultCheck(adj, func() error {
+		ranks = analysis.PageRankAdj(adj, opts)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return ranks, nil
+}
+
+// GraphAnalysis is the whole-graph analysis suite of AnalyzeGraph:
+// structure metrics straight off the adjacency plus PageRank, with the
+// top-ranked nodes resolved to labels.
+type GraphAnalysis struct {
+	analysis.AdjacencyReport
+	Directed bool
+	// PageRank is the full rank vector; TopRanked/TopLabels are the k
+	// highest-ranked nodes (ties by id) and their labels ("" when
+	// unlabeled), index-aligned.
+	PageRank  []float64
+	TopRanked []graph.NodeID
+	TopLabels []string
+}
+
+// AnalyzeGraph computes the whole-graph analysis suite — degree
+// distribution, connected components, self-loops and PageRank — over the
+// engine's shared adjacency: in memory on the cached CSR, out of core on
+// the paged CSR with resident memory bounded by the buffer pool. Results
+// are bit-identical across backends for the same graph. topK bounds the
+// ranked listing (<=0 means 10). The paged path runs under the same fault
+// discipline as Extract: any I/O or corruption fault during the sweep
+// fails the call with ErrPagedIO instead of returning a silently wrong
+// report.
+func (e *Engine) AnalyzeGraph(opts analysis.PageRankOptions, topK int) (*GraphAnalysis, error) {
+	if topK <= 0 {
+		topK = 10
+	}
+	adj, err := e.Adj()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.preloadLabelsIfPaged(); err != nil {
+		return nil, err
+	}
+	res := &GraphAnalysis{Directed: e.directed()}
+	if err := e.withFaultCheck(adj, func() error {
+		res.AdjacencyReport = analysis.ReportAdj(adj, e.directed())
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// PageRank brackets the iteration with its own epoch check.
+	if res.PageRank, err = e.PageRank(opts); err != nil {
+		return nil, err
+	}
+	res.TopRanked = analysis.TopKByRank(res.PageRank, topK)
+	labelOf := e.labelOf()
+	res.TopLabels = make([]string, len(res.TopRanked))
+	for i, u := range res.TopRanked {
+		res.TopLabels[i] = labelOf(u)
+	}
+	return res, nil
 }
 
 // directed reports the edge semantics of the engine's graph.

@@ -222,8 +222,10 @@ func inducedFromAdj(adj graph.Adjacency, directed bool, labelOf func(graph.NodeI
 			}
 		}
 	}
+	var nbrs []graph.NodeID
+	var ws []float64
 	for nu, ou := range new2old {
-		nbrs, ws := adj.Neighbors(ou)
+		nbrs, ws = adj.NeighborsInto(ou, nbrs[:0], ws[:0])
 		for i, v := range nbrs {
 			nv, ok := old2new[v]
 			if !ok {
@@ -259,6 +261,10 @@ func keyPath(c graph.Adjacency, src, dst graph.NodeID, logGood []float64, maxLen
 	if src == dst {
 		return []graph.NodeID{src}
 	}
+	// One reusable buffer for the whole DP (this goroutine only). The DP
+	// never reads edge weights, so the ids-only fast path skips decoding
+	// (and, paged, skips reading) the EdgeW run entirely.
+	var nbrs []graph.NodeID
 	for l := 1; l <= maxLen; l++ {
 		par := make([]int32, n)
 		for i := range par {
@@ -271,7 +277,7 @@ func keyPath(c graph.Adjacency, src, dst graph.NodeID, logGood []float64, maxLen
 			if prev[u] == negInf {
 				continue
 			}
-			nbrs, _ := c.Neighbors(graph.NodeID(u))
+			nbrs = graph.NeighborIDs(c, graph.NodeID(u), nbrs[:0])
 			for _, v := range nbrs {
 				if logGood[v] == negInf {
 					continue

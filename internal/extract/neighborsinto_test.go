@@ -1,0 +1,139 @@
+package extract
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// viaNeighbors forces an Adjacency's NeighborsInto through the plain
+// Neighbors path (copying into the caller's buffers), so tests can pin the
+// zero-alloc fast path bit-for-bit against the reference behavior.
+type viaNeighbors struct{ graph.Adjacency }
+
+func (v viaNeighbors) NeighborsInto(u graph.NodeID, nbrBuf []graph.NodeID, wBuf []float64) ([]graph.NodeID, []float64) {
+	nbrs, ws := v.Adjacency.Neighbors(u)
+	return append(nbrBuf, nbrs...), append(wBuf, ws...)
+}
+
+// TestNeighborsIntoKernelsBitIdentical is the property test for the
+// zero-alloc conversion: every kernel that now reads the adjacency through
+// NeighborsInto must produce exactly the result it produced through
+// Neighbors, across random graphs, sources and worker-pool widths.
+func TestNeighborsIntoKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(120)
+		g := randomConnected(rng, n, rng.Intn(4*n))
+		c := graph.ToCSR(g)
+		ref := viaNeighbors{c}
+		src := graph.NodeID(rng.Intn(n))
+
+		// RWR power iteration.
+		fast, err := RWR(c, src, RWROptions{MaxIter: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := RWR(ref, src, RWROptions{MaxIter: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fast {
+			if math.Float64bits(fast[i]) != math.Float64bits(slow[i]) {
+				t.Fatalf("trial %d RWR[%d]: %v != %v", trial, i, fast[i], slow[i])
+			}
+		}
+
+		// Residual push.
+		fast, err = RWRPush(c, src, 0.15, 1e-8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err = RWRPush(ref, src, 0.15, 1e-8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range fast {
+			if math.Float64bits(fast[i]) != math.Float64bits(slow[i]) {
+				t.Fatalf("trial %d push[%d]: %v != %v", trial, i, fast[i], slow[i])
+			}
+		}
+
+		// Full extraction (goodness + key paths + induced subgraph),
+		// including the parallel fan-out.
+		sources := []graph.NodeID{src, graph.NodeID((int(src) + n/2) % n)}
+		opts := Options{Budget: 10 + rng.Intn(10), RWR: RWROptions{Parallel: 1 + trial%3}}
+		want, err := ConnectionSubgraphAdj(ref, g.Directed(), g.Label, sources, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ConnectionSubgraphAdj(c, g.Directed(), g.Label, sources, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got.TotalGoodness) != math.Float64bits(want.TotalGoodness) ||
+			len(got.Nodes) != len(want.Nodes) || got.Subgraph.NumEdges() != want.Subgraph.NumEdges() {
+			t.Fatalf("trial %d extraction diverged: %v/%d/%d vs %v/%d/%d", trial,
+				got.TotalGoodness, len(got.Nodes), got.Subgraph.NumEdges(),
+				want.TotalGoodness, len(want.Nodes), want.Subgraph.NumEdges())
+		}
+		for i := range want.Nodes {
+			if got.Nodes[i] != want.Nodes[i] {
+				t.Fatalf("trial %d node %d: %d vs %d", trial, i, got.Nodes[i], want.Nodes[i])
+			}
+		}
+	}
+}
+
+// shrinkingAdj wraps a CSR but lies about its node count once the
+// configured number of N() calls has been observed: later calls report a
+// single node, making every subsequent per-solve range check fail. It
+// exists to trigger worker errors inside RWRMulti without a
+// fault-injectable backend; only interface calls bump the counter
+// (the CSR's internal method calls do not go through the wrapper).
+type shrinkingAdj struct {
+	*graph.CSR
+	calls atomic.Int64
+	flip  int64
+}
+
+func (a *shrinkingAdj) N() int {
+	if a.calls.Add(1) > a.flip {
+		return 1
+	}
+	return a.CSR.N()
+}
+
+// TestRWRMultiStopsFeedingAfterError pins the early-cancel fix: once a
+// worker records the batch's first error, the feeder must stop handing out
+// sources and the workers must stop burning full solves on them — before
+// the fix a bad batch of m sources cost m wasted RWR solves.
+func TestRWRMultiStopsFeedingAfterError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnected(rng, 50, 120)
+	const m, workers = 512, 4
+	sources := make([]graph.NodeID, m)
+	for i := range sources {
+		sources[i] = graph.NodeID(1 + i%40) // all >= 1: out of range once N()==1
+	}
+	// RWRMulti's up-front validation calls N() once per source; every later
+	// call comes from a worker's RWRSet, so flipping after m calls makes
+	// exactly the solves fail.
+	adj := &shrinkingAdj{CSR: graph.ToCSR(g), flip: m}
+	if _, err := RWRMulti(adj, sources, RWROptions{Parallel: workers}); err == nil {
+		t.Fatal("shrinking adjacency produced no error")
+	}
+	attempted := adj.calls.Load() - m
+	if attempted < 1 {
+		t.Fatalf("no solve was ever attempted (calls=%d)", adj.calls.Load())
+	}
+	// Without the early stop every source is solved (attempted == m). With
+	// it, at most a few jobs per worker slip through before the first error
+	// is observed.
+	if attempted > 8*workers {
+		t.Fatalf("%d of %d sources were still solved after the first error", attempted, m)
+	}
+}

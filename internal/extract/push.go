@@ -6,6 +6,10 @@ import (
 	"repro/internal/graph"
 )
 
+// pushDefaultEpsilon is the push threshold used when the caller passes
+// epsilon == 0.
+const pushDefaultEpsilon = 1e-7
+
 // RWRPush approximates the random-walk-with-restart vector with the
 // residual-push scheme (Berkhin's bookmark-coloring / Andersen–Chung–Lang
 // local push): mass starts as residual at the source; pushing a node moves
@@ -18,17 +22,28 @@ import (
 // epsilon controls accuracy: on exit every node satisfies
 // residual[u] <= epsilon * wdeg(u), giving the standard L1 guarantee
 // |approx - exact| bounded by epsilon per unit degree.
+//
+// Zero restart/epsilon mean "use the default" (0.15 and pushDefaultEpsilon);
+// explicitly out-of-range or non-finite values are rejected through
+// RWROptions.Normalize — the same reject-don't-remap policy the
+// power-iteration path enforces — instead of being silently remapped to
+// the defaults.
 func RWRPush(c graph.Adjacency, src graph.NodeID, restart, epsilon float64) ([]float64, error) {
 	n := c.N()
 	if src < 0 || int(src) >= n {
 		return nil, fmt.Errorf("extract: source %d out of range (n=%d)", src, n)
 	}
-	if restart <= 0 || restart >= 1 {
-		restart = 0.15
+	if epsilon == 0 {
+		// Push's historical default is looser than the power iteration's
+		// 1e-10: the scheme is an approximation by design and 1e-7 keeps
+		// interactive queries local.
+		epsilon = pushDefaultEpsilon
 	}
-	if epsilon <= 0 {
-		epsilon = 1e-7
+	opts, err := RWROptions{Restart: restart, Epsilon: epsilon}.Normalize()
+	if err != nil {
+		return nil, err
 	}
+	restart, epsilon = opts.Restart, opts.Epsilon
 	p := make([]float64, n)
 	r := make([]float64, n)
 	r[src] = 1
@@ -36,6 +51,10 @@ func RWRPush(c graph.Adjacency, src graph.NodeID, restart, epsilon float64) ([]f
 	// FIFO queue of nodes whose residual exceeds the push threshold.
 	inQ := make([]bool, n)
 	queue := make([]int32, 0, 64)
+	// One buffer pair for the whole solve (this goroutine only): the paged
+	// backend decodes into it instead of allocating per push.
+	var nbrs []graph.NodeID
+	var ws []float64
 	pushable := func(u int32) bool {
 		if wdeg[u] == 0 {
 			// Isolated node: all its residual becomes estimate directly.
@@ -75,7 +94,7 @@ func RWRPush(c graph.Adjacency, src graph.NodeID, restart, epsilon float64) ([]f
 		}
 		p[u] += restart * ru
 		spread := (1 - restart) * ru / wdeg[u]
-		nbrs, ws := c.Neighbors(graph.NodeID(u))
+		nbrs, ws = c.NeighborsInto(graph.NodeID(u), nbrs[:0], ws[:0])
 		for i, v := range nbrs {
 			r[v] += spread * ws[i]
 			enqueue(int32(v))

@@ -87,9 +87,30 @@ func TestRWRPushErrors(t *testing.T) {
 	if _, err := RWRPush(c, 99, 0.15, 1e-8); err == nil {
 		t.Fatal("accepted bad source")
 	}
-	// Defaulted parameters still work.
-	if _, err := RWRPush(c, 0, -1, -1); err != nil {
+	// Zero means "use the default"...
+	if _, err := RWRPush(c, 0, 0, 0); err != nil {
 		t.Fatal(err)
+	}
+	// ...but explicitly out-of-range or non-finite parameters are rejected
+	// (reject-don't-remap, matching RWROptions.Normalize) instead of being
+	// silently remapped to the defaults as they once were.
+	bad := []struct{ restart, epsilon float64 }{
+		{-1, 1e-8},
+		{1, 1e-8},
+		{1.5, 1e-8},
+		{math.NaN(), 1e-8},
+		{math.Inf(1), 1e-8},
+		{0.15, -1},
+		{0.15, math.NaN()},
+		{0.15, math.Inf(1)},
+	}
+	for _, tc := range bad {
+		if _, err := RWRPush(c, 0, tc.restart, tc.epsilon); err == nil {
+			t.Errorf("RWRPush accepted restart=%g epsilon=%g", tc.restart, tc.epsilon)
+		}
+	}
+	if _, err := RWRMultiPush(c, []graph.NodeID{0}, math.NaN(), 1e-8); err == nil {
+		t.Error("RWRMultiPush accepted NaN restart")
 	}
 }
 

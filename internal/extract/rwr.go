@@ -10,6 +10,7 @@ package extract
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -38,15 +39,22 @@ type RWROptions struct {
 // Normalize validates o and fills zero fields with defaults. Explicitly
 // out-of-range values are rejected instead of silently remapped, so a
 // caller asking for Restart=1.5 gets an error rather than results computed
-// under Restart=0.15.
+// under Restart=0.15. NaN and ±Inf are rejected too: NaN fails every range
+// comparison, so without the explicit check a NaN restart would sail
+// through, poison the whole solve with NaN scores, and get cached by the
+// server as if it were an answer.
 func (o RWROptions) Normalize() (RWROptions, error) {
 	switch {
+	case math.IsNaN(o.Restart) || math.IsInf(o.Restart, 0):
+		return o, fmt.Errorf("extract: restart probability %g is not finite", o.Restart)
 	case o.Restart == 0:
 		o.Restart = 0.15
 	case o.Restart <= 0 || o.Restart >= 1:
 		return o, fmt.Errorf("extract: restart probability %g out of range (0,1)", o.Restart)
 	}
 	switch {
+	case math.IsNaN(o.Epsilon) || math.IsInf(o.Epsilon, 0):
+		return o, fmt.Errorf("extract: epsilon %g is not finite", o.Epsilon)
 	case o.Epsilon == 0:
 		o.Epsilon = 1e-10
 	case o.Epsilon < 0:
@@ -95,6 +103,10 @@ func RWRSet(c graph.Adjacency, sources []graph.NodeID, opts RWROptions) ([]float
 	next := make([]float64, n)
 	copy(r, restartMass)
 	cc := opts.Restart
+	// One buffer pair for the whole solve (this goroutine only): the paged
+	// backend decodes into it instead of allocating per Neighbors call.
+	var nbrs []graph.NodeID
+	var ws []float64
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		for i := range next {
 			next[i] = cc * restartMass[i]
@@ -111,7 +123,7 @@ func RWRSet(c graph.Adjacency, sources []graph.NodeID, opts RWROptions) ([]float
 				continue
 			}
 			scale := (1 - cc) * r[u] / wdeg[u]
-			nbrs, ws := c.Neighbors(graph.NodeID(u))
+			nbrs, ws = c.NeighborsInto(graph.NodeID(u), nbrs[:0], ws[:0])
 			for i, v := range nbrs {
 				next[v] += scale * ws[i]
 			}
@@ -174,6 +186,11 @@ func RWRMulti(c graph.Adjacency, sources []graph.NodeID, opts RWROptions) ([][]f
 		firstErr   error
 		firstPanic any
 	)
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return firstErr != nil || firstPanic != nil
+	}
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -195,6 +212,12 @@ func RWRMulti(c graph.Adjacency, sources []graph.NodeID, opts RWROptions) ([][]f
 				}
 			}()
 			for i := range jobs {
+				// Once any worker failed the batch's outcome is decided;
+				// drain remaining jobs instead of burning full solves on a
+				// result that will be discarded.
+				if failed() {
+					continue
+				}
 				r, err := RWR(c, sources[i], opts)
 				if err != nil {
 					errMu.Lock()
@@ -209,6 +232,12 @@ func RWRMulti(c graph.Adjacency, sources []graph.NodeID, opts RWROptions) ([][]f
 		}()
 	}
 	for i := range sources {
+		// Stop feeding as soon as the batch is doomed — with an unbuffered
+		// channel at most `workers` solves are ever in flight past the
+		// first error, instead of the whole remaining source set.
+		if failed() {
+			break
+		}
 		jobs <- i
 	}
 	close(jobs)

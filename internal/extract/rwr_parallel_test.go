@@ -1,6 +1,7 @@
 package extract
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -80,6 +81,17 @@ func TestRWROptionsNormalizeRejectsOutOfRange(t *testing.T) {
 		{Restart: 1},
 		{Restart: -0.1},
 		{Epsilon: -1e-9},
+		// NaN fails every range comparison, so before the explicit check a
+		// NaN restart slipped through Normalize unchanged, poisoned the
+		// whole solve and got cached by the server; Inf likewise for
+		// epsilon (an infinite threshold "converges" instantly).
+		{Restart: math.NaN()},
+		{Restart: math.Inf(1)},
+		{Restart: math.Inf(-1)},
+		{Epsilon: math.NaN()},
+		{Epsilon: math.Inf(1)},
+		{Epsilon: math.Inf(-1)},
+		{Restart: 0.15, Epsilon: math.NaN()},
 	}
 	for _, o := range cases {
 		if _, err := o.Normalize(); err == nil {

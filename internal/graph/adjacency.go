@@ -20,6 +20,41 @@ type Adjacency interface {
 	// copies (paged CSR); either way they are read-only to the caller and
 	// only valid until the next call on the same goroutine.
 	Neighbors(u NodeID) ([]NodeID, []float64)
+	// NeighborsInto is the zero-allocation fast path of Neighbors: the
+	// kernel hot loops call it once per node per iteration, and the
+	// caller-supplied buffers are what keep a paged solve from allocating
+	// O(degree) garbage on every call.
+	//
+	// Buffer-ownership contract:
+	//
+	//   - The caller passes two scratch buffers, normally the previous
+	//     call's return values resliced to length zero (nil is fine to
+	//     start). An implementation either appends u's neighbors into them
+	//     (disk-backed PagedCSR decodes pages into the buffers, growing
+	//     them as needed) or ignores them entirely and returns read-only
+	//     subslices aliasing its internal storage (in-memory CSR).
+	//   - The returned slices are read-only and valid only until the next
+	//     NeighborsInto call that is handed the same buffers. The intended
+	//     reuse pattern, one buffer pair per goroutine per solve, is
+	//
+	//       var nbrs []NodeID
+	//       var ws []float64
+	//       for ... {
+	//           nbrs, ws = adj.NeighborsInto(u, nbrs[:0], ws[:0])
+	//           ... read nbrs, ws ...
+	//       }
+	//
+	//     which allocates only while the buffers grow toward the maximum
+	//     degree encountered (and never on the aliasing CSR).
+	//   - Because an aliasing implementation returns internal storage, a
+	//     buffer pair must only ever be reused with the SAME Adjacency
+	//     instance, and never appended to or mutated by the caller —
+	//     feeding a CSR's aliased row into another implementation's append
+	//     would scribble over the graph.
+	//
+	// A paged implementation that faults mid-read returns empty slices and
+	// records the fault exactly like Neighbors.
+	NeighborsInto(u NodeID, nbrBuf []NodeID, wBuf []float64) ([]NodeID, []float64)
 	// WeightedDegrees returns the per-node weighted degree table (cached
 	// after the first call).
 	WeightedDegrees() []float64
@@ -28,4 +63,30 @@ type Adjacency interface {
 	HalfEdges() int
 }
 
+// NeighborLister is an optional fast path next to Adjacency for callers
+// that need only the neighbor ids — the key-path DP and connectivity
+// sweeps. A paged implementation can then skip the EdgeW run entirely:
+// weights are 8 of the 12 bytes per half-edge, so an ids-only sweep reads
+// a third of the bytes and stops evicting id pages to fault in weight
+// pages. Both implementations in this repo provide it; use the
+// NeighborIDs helper rather than asserting directly.
+type NeighborLister interface {
+	// NeighborIDsInto appends u's neighbor ids to buf, under exactly the
+	// buffer-ownership contract of Adjacency.NeighborsInto (aliasing
+	// implementations ignore buf and return read-only subslices).
+	NeighborIDsInto(u NodeID, buf []NodeID) []NodeID
+}
+
+// NeighborIDs returns u's neighbor ids through adj's NeighborLister fast
+// path when available, else through NeighborsInto with the weights
+// discarded. Buffer-ownership contract as NeighborsInto.
+func NeighborIDs(adj Adjacency, u NodeID, buf []NodeID) []NodeID {
+	if l, ok := adj.(NeighborLister); ok {
+		return l.NeighborIDsInto(u, buf)
+	}
+	nbrs, _ := adj.NeighborsInto(u, buf, nil)
+	return nbrs
+}
+
 var _ Adjacency = (*CSR)(nil)
+var _ NeighborLister = (*CSR)(nil)

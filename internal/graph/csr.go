@@ -58,6 +58,23 @@ func (c *CSR) Neighbors(u NodeID) ([]NodeID, []float64) {
 	return c.Adjncy[lo:hi], c.EdgeW[lo:hi]
 }
 
+// NeighborsInto returns u's neighbor row as read-only subslices aliasing
+// the CSR's internal storage — the buffers are ignored, so the call never
+// copies or allocates (Adjacency's zero-alloc contract). Capacities are
+// clamped to the row so an accidental append by a confused caller
+// reallocates instead of scribbling over the next node's row.
+func (c *CSR) NeighborsInto(u NodeID, _ []NodeID, _ []float64) ([]NodeID, []float64) {
+	lo, hi := c.Xadj[u], c.Xadj[u+1]
+	return c.Adjncy[lo:hi:hi], c.EdgeW[lo:hi:hi]
+}
+
+// NeighborIDsInto returns u's neighbor ids as a read-only, cap-clamped
+// alias of internal storage (NeighborLister; the buffer is ignored).
+func (c *CSR) NeighborIDsInto(u NodeID, _ []NodeID) []NodeID {
+	lo, hi := c.Xadj[u], c.Xadj[u+1]
+	return c.Adjncy[lo:hi:hi]
+}
+
 // Degree returns the number of stored half-edges at u.
 func (c *CSR) Degree(u NodeID) int { return int(c.Xadj[u+1] - c.Xadj[u]) }
 

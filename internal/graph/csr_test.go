@@ -33,6 +33,41 @@ func TestToCSRStructure(t *testing.T) {
 	}
 }
 
+// TestCSRNeighborsInto pins the aliasing fast path: same data as
+// Neighbors, zero allocations, buffers ignored, and capacities clamped to
+// the row so a stray append cannot scribble over the next node's row.
+func TestCSRNeighborsInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(rng, 30, 90)
+	c := ToCSR(g)
+	var nbrBuf []NodeID
+	var wBuf []float64
+	for u := 0; u < c.N(); u++ {
+		wantN, wantW := c.Neighbors(NodeID(u))
+		gotN, gotW := c.NeighborsInto(NodeID(u), nbrBuf[:0], wBuf[:0])
+		if len(gotN) != len(wantN) || len(gotW) != len(wantW) {
+			t.Fatalf("node %d: %d/%d entries, want %d/%d", u, len(gotN), len(gotW), len(wantN), len(wantW))
+		}
+		for i := range wantN {
+			if gotN[i] != wantN[i] || gotW[i] != wantW[i] {
+				t.Fatalf("node %d entry %d: %d/%g want %d/%g", u, i, gotN[i], gotW[i], wantN[i], wantW[i])
+			}
+		}
+		if len(gotN) != cap(gotN) || len(gotW) != cap(gotW) {
+			t.Fatalf("node %d: capacity not clamped (%d/%d, %d/%d)", u, len(gotN), cap(gotN), len(gotW), cap(gotW))
+		}
+		// The documented reuse pattern: retain the returns as the next
+		// call's buffers (safe — the CSR never appends into them).
+		nbrBuf, wBuf = gotN, gotW
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		nbrBuf, wBuf = c.NeighborsInto(7, nbrBuf[:0], wBuf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("CSR NeighborsInto allocates %.1f per call, want 0", allocs)
+	}
+}
+
 func TestCSRNodeWeightsDefaultOne(t *testing.T) {
 	g := NewWithNodes(5, false)
 	c := ToCSR(g)

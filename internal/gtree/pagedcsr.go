@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 
 	"repro/internal/graph"
@@ -48,14 +49,17 @@ type PagedCSR struct {
 	wdegMu sync.Mutex
 	wdeg   []float64 // cached only after a fault-free build
 
-	// scratch recycles the raw page-copy buffer of Neighbors across
-	// calls; the kernels call Neighbors O(n·iterations) times per solve,
-	// and without reuse the short-lived buffers dominate GC pressure on
-	// the paged path.
+	// scratch recycles the raw page-copy buffer of NeighborsInto across
+	// calls; the kernels call it O(n·iterations) times per solve, and
+	// without reuse the short-lived buffers dominate GC pressure on the
+	// paged path. The pool holds *[]byte, not []byte: boxing a pointer
+	// into sync.Pool's interface is free, while boxing a slice header
+	// allocates on every Put.
 	scratch sync.Pool
 }
 
 var _ graph.Adjacency = (*PagedCSR)(nil)
+var _ graph.NeighborLister = (*PagedCSR)(nil)
 
 // newPagedCSR wires the four run readers over the store's buffer pool,
 // validating the section's geometry against the file.
@@ -158,36 +162,101 @@ func (c *PagedCSR) Degree(u graph.NodeID) int {
 
 // Neighbors returns fresh copies of u's neighbor ids and edge weights,
 // paged in through the buffer pool. The returned slices are the caller's;
-// the intermediate page-copy buffer is pooled.
+// the intermediate page-copy buffer is pooled. Kernel hot loops should use
+// NeighborsInto instead, which reuses caller buffers across calls.
 func (c *PagedCSR) Neighbors(u graph.NodeID) ([]graph.NodeID, []float64) {
+	nbrs, ws := c.NeighborsInto(u, nil, nil)
+	if len(nbrs) == 0 {
+		return nil, nil
+	}
+	return nbrs, ws
+}
+
+// NeighborsInto decodes u's neighbor range into the caller's buffers
+// (append-into contract, see graph.Adjacency), paging the touched pages
+// through the buffer pool and recycling the pooled page-copy scratch. The
+// buffers grow toward the maximum degree the solve encounters and are then
+// reused verbatim, so a paged kernel iteration stops allocating per node.
+// A fault mid-read is recorded on the epoch counter and nothing is
+// appended.
+func (c *PagedCSR) NeighborsInto(u graph.NodeID, nbrBuf []graph.NodeID, wBuf []float64) ([]graph.NodeID, []float64) {
 	lo, hi, ok := c.xrange(u)
 	if !ok || hi == lo {
-		return nil, nil
+		return nbrBuf, wBuf
 	}
 	m := hi - lo
-	raw, _ := c.scratch.Get().([]byte) // big enough for both runs; ids first
+	p, _ := c.scratch.Get().(*[]byte)
+	if p == nil {
+		p = new([]byte)
+	}
+	raw := *p // big enough for both runs; ids first
 	if cap(raw) < m*8 {
 		raw = make([]byte, m*8)
+		*p = raw
 	}
 	raw = raw[:m*8]
-	defer c.scratch.Put(raw) //nolint:staticcheck // slice header alloc is fine here
+	nbrBuf, wBuf = c.decodeInto(lo, hi, raw, nbrBuf, wBuf)
+	c.scratch.Put(p)
+	return nbrBuf, wBuf
+}
+
+// NeighborIDsInto appends u's neighbor ids to buf (graph.NeighborLister),
+// reading only the Adjncy run: weights are 8 of the 12 bytes per
+// half-edge, so the ids-only sweeps — whole-graph connectivity, key-path
+// DP — page a third of the bytes NeighborsInto would and stop evicting id
+// pages to fault in weight pages.
+func (c *PagedCSR) NeighborIDsInto(u graph.NodeID, buf []graph.NodeID) []graph.NodeID {
+	lo, hi, ok := c.xrange(u)
+	if !ok || hi == lo {
+		return buf
+	}
+	m := hi - lo
+	p, _ := c.scratch.Get().(*[]byte)
+	if p == nil {
+		p = new([]byte)
+	}
+	raw := *p
+	if cap(raw) < m*4 {
+		raw = make([]byte, m*4)
+		*p = raw
+	}
+	raw = raw[:m*4]
+	if err := c.adjncy.Read(lo, hi, raw); err != nil {
+		c.setErr(err)
+	} else {
+		nb := len(buf)
+		buf = slices.Grow(buf, m)[:nb+m]
+		for i := 0; i < m; i++ {
+			buf[nb+i] = graph.NodeID(int32(binary.LittleEndian.Uint32(raw[4*i:])))
+		}
+	}
+	c.scratch.Put(p)
+	return buf
+}
+
+// decodeInto reads and decodes the half-edge range [lo,hi) into the
+// caller's buffers using raw (sized (hi-lo)*8) as the page-copy scratch.
+func (c *PagedCSR) decodeInto(lo, hi int, raw []byte, nbrBuf []graph.NodeID, wBuf []float64) ([]graph.NodeID, []float64) {
+	m := hi - lo
 	if err := c.adjncy.Read(lo, hi, raw[:m*4]); err != nil {
 		c.setErr(err)
-		return nil, nil
+		return nbrBuf, wBuf
 	}
-	nbrs := make([]graph.NodeID, m)
-	for i := range nbrs {
-		nbrs[i] = graph.NodeID(int32(binary.LittleEndian.Uint32(raw[4*i:])))
+	nb := len(nbrBuf)
+	nbrBuf = slices.Grow(nbrBuf, m)[:nb+m]
+	for i := 0; i < m; i++ {
+		nbrBuf[nb+i] = graph.NodeID(int32(binary.LittleEndian.Uint32(raw[4*i:])))
 	}
 	if err := c.edgew.Read(lo, hi, raw); err != nil {
 		c.setErr(err)
-		return nil, nil
+		return nbrBuf[:nb], wBuf
 	}
-	ws := make([]float64, m)
-	for i := range ws {
-		ws[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	wb := len(wBuf)
+	wBuf = slices.Grow(wBuf, m)[:wb+m]
+	for i := 0; i < m; i++ {
+		wBuf[wb+i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
 	}
-	return nbrs, ws
+	return nbrBuf, wBuf
 }
 
 // NodeWeight returns the persisted partitioner node weight of u.

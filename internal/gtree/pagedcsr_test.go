@@ -100,6 +100,77 @@ func TestPagedCSRRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPagedCSRNeighborsInto pins the decode-into-caller-buffers fast
+// path: identical data to Neighbors, buffers growing once toward the
+// maximum degree and then reused, and O(degree) garbage gone from the
+// warm path (only the pooled scratch's constant-size bookkeeping
+// remains).
+func TestPagedCSRNeighborsInto(t *testing.T) {
+	g := randomGraph(120, 600, 7)
+	want := graph.ToCSR(g)
+	path := buildAndSave(t, g, 256)
+	s, err := OpenFile(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := s.PagedCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nbrs []graph.NodeID
+	var ws []float64
+	for u := 0; u < c.N(); u++ {
+		id := graph.NodeID(u)
+		nbrs, ws = c.NeighborsInto(id, nbrs[:0], ws[:0])
+		wn, ww := want.Neighbors(id)
+		if len(nbrs) != len(wn) || len(ws) != len(ww) {
+			t.Fatalf("node %d: %d/%d entries, want %d/%d", u, len(nbrs), len(ws), len(wn), len(ww))
+		}
+		for i := range wn {
+			if nbrs[i] != wn[i] || math.Float64bits(ws[i]) != math.Float64bits(ww[i]) {
+				t.Fatalf("node %d entry %d: %d/%g want %d/%g", u, i, nbrs[i], ws[i], wn[i], ww[i])
+			}
+		}
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("latched error after clean sweep: %v", err)
+	}
+	// Append semantics: existing buffer content is preserved, new entries
+	// land behind it.
+	sentinel := []graph.NodeID{1234}
+	var deg0 graph.NodeID
+	for u := 0; u < c.N(); u++ {
+		if want.Degree(graph.NodeID(u)) > 0 {
+			deg0 = graph.NodeID(u)
+			break
+		}
+	}
+	appended, _ := c.NeighborsInto(deg0, sentinel, nil)
+	if len(appended) != 1+want.Degree(deg0) || appended[0] != 1234 {
+		t.Fatalf("append contract broken: len=%d first=%d", len(appended), appended[0])
+	}
+	// Warm path: buffers at max degree, pages resident. The old Neighbors
+	// path allocated two O(degree) slices per call plus pool bookkeeping;
+	// the fast path is allocation-free (the 0.5 headroom only covers a GC
+	// clearing the sync.Pool scratch mid-measurement).
+	allocs := testing.AllocsPerRun(200, func() {
+		nbrs, ws = c.NeighborsInto(deg0, nbrs[:0], ws[:0])
+	})
+	if allocs > 0.5 {
+		t.Fatalf("paged NeighborsInto allocates %.2f per warm call, want 0", allocs)
+	}
+	// Out-of-range faults behave like Neighbors: nothing appended, epoch
+	// bumped.
+	epoch := c.Faults()
+	if n2, _ := c.NeighborsInto(graph.NodeID(-1), nbrs[:0], ws[:0]); len(n2) != 0 {
+		t.Fatal("fault appended data")
+	}
+	if c.ErrSince(epoch) == nil {
+		t.Fatal("fault not recorded")
+	}
+}
+
 // TestPagedCSRPoolBounded pins the acceptance criterion: sweeping the
 // whole adjacency through a pool much smaller than the CSR section keeps
 // the resident page count within the pool capacity and forces evictions —

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dblp"
+	"repro/internal/graph"
+	"repro/internal/gtree"
+)
+
+// saveFixtureTree persists the small fixture as a v2 G-Tree and as an
+// edge list, so one graph can be served memory-backed and disk-backed.
+func saveFixtureTree(t *testing.T, pageSize int) (gtreePath, edgesPath string) {
+	t.Helper()
+	ds := dblp.SmallFixture()
+	eng, err := core.BuildEngine(ds.Graph, core.BuildConfig{K: 3, Levels: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	gtreePath = filepath.Join(dir, "small.gtree")
+	if err := eng.SaveTree(gtreePath, pageSize); err != nil {
+		t.Fatal(err)
+	}
+	edgesPath = filepath.Join(dir, "small.edges")
+	f, err := os.Create(edgesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, ds.Graph); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return gtreePath, edgesPath
+}
+
+// TestGraphAnalysisEndpointMatchesAcrossBackends is the endpoint's
+// acceptance criterion: GET /sessions/{id}/analysis/graph must return
+// identical PageRank, degree and component results for the same graph
+// loaded as an in-memory session and as a v2 gtree session — and the
+// gtree run must actually have paged (visible in the pool counters).
+func TestGraphAnalysisEndpointMatchesAcrossBackends(t *testing.T) {
+	_, ts := newTestServer(t)
+	gtreePath, edgesPath := saveFixtureTree(t, 256)
+	for _, req := range []CreateSessionRequest{
+		{Name: "mem", Source: "edges", Path: edgesPath, K: 3, Levels: 3, Seed: 1},
+		{Name: "disk", Source: "gtree", Path: gtreePath, PoolPages: 16},
+	} {
+		resp := postJSON(t, ts.URL+"/sessions", req)
+		if resp.StatusCode != http.StatusCreated {
+			b, _ := io.ReadAll(resp.Body)
+			t.Fatalf("create %s: status %d (%s)", req.Name, resp.StatusCode, b)
+		}
+		resp.Body.Close()
+	}
+
+	var bodies [2][]byte
+	for i, name := range []string{"mem", "disk"} {
+		resp := mustGet(t, ts.URL+"/sessions/"+name+"/analysis/graph?topk=10")
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Strip the only legitimately differing field.
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatalf("%s body not JSON: %v (%s)", name, err, raw)
+		}
+		delete(m, "session")
+		bodies[i], _ = json.Marshal(m)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatalf("whole-graph analysis diverged across backends:\nmem:  %s\ndisk: %s", bodies[0], bodies[1])
+	}
+
+	// The response carries real content.
+	resp := mustGet(t, ts.URL+"/sessions/mem/analysis/graph")
+	body := decodeBody[graphAnalysisResponse](t, resp)
+	ds := dblp.SmallFixture()
+	if body.Nodes != ds.Graph.NumNodes() || body.Edges != ds.Graph.NumEdges() {
+		t.Fatalf("analysis says %d/%d, graph has %d/%d",
+			body.Nodes, body.Edges, ds.Graph.NumNodes(), ds.Graph.NumEdges())
+	}
+	if len(body.TopRanked) != 10 || body.TopRanked[0].PageRank <= 0 || body.TopRanked[0].Label == "" {
+		t.Fatalf("ranked listing malformed: %+v", body.TopRanked)
+	}
+	if body.WeakComponents < 1 || body.LargestComponent < 1 || body.DegreeMax < 1 {
+		t.Fatalf("degenerate metrics: %+v", body)
+	}
+
+	// Second identical request is a cache hit; a different topk is not.
+	r1 := mustGet(t, ts.URL+"/sessions/disk/analysis/graph?topk=10")
+	r1.Body.Close()
+	if h := r1.Header.Get("X-Gmine-Cache"); h != "hit" {
+		t.Fatalf("repeat graph analysis: cache %q, want hit", h)
+	}
+	r2 := mustGet(t, ts.URL+"/sessions/disk/analysis/graph?topk=3")
+	r2.Body.Close()
+	if h := r2.Header.Get("X-Gmine-Cache"); h != "miss" {
+		t.Fatalf("distinct topk: cache %q, want miss", h)
+	}
+
+	// The paged sweep is visible in the /healthz pool counters.
+	h := decodeBody[healthResponse](t, mustGet(t, ts.URL+"/healthz"))
+	pi, ok := h.Pools["disk"]
+	if !ok || pi.Hits+pi.Misses == 0 {
+		t.Fatalf("healthz pool counters flat after paged whole-graph analysis: %+v", h.Pools)
+	}
+
+	// Bad topk values are 400s.
+	for _, q := range []string{"topk=0", "topk=1001", "topk=x"} {
+		resp, err := http.Get(ts.URL + "/sessions/disk/analysis/graph?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestGraphAnalysisV1Conflict: sessions opened from v1 files answer
+// whole-graph analysis with 409 and re-save guidance, like extraction.
+func TestGraphAnalysisV1Conflict(t *testing.T) {
+	_, ts := newTestServer(t)
+	ds := dblp.SmallFixture()
+	eng, err := core.BuildEngine(ds.Graph, core.BuildConfig{K: 3, Levels: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "legacy.gtree")
+	if err := gtree.SaveLegacy(eng.Tree(), ds.Graph, path, 0); err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/sessions", CreateSessionRequest{Name: "v1", Source: "gtree", Path: path})
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/sessions/v1/analysis/graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("v1 graph analysis: status %d, want 409 (%s)", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), "re-save") {
+		t.Fatalf("v1 graph analysis error not actionable: %s", b)
+	}
+}
+
+// TestGraphAnalysisFaultMapsTo500 corrupts the G-Tree file underneath a
+// live session: the paged whole-graph sweep must fail closed as a 500
+// (backend fault), never serve a silently wrong report.
+func TestGraphAnalysisFaultMapsTo500(t *testing.T) {
+	_, ts := newTestServer(t)
+	gtreePath, _ := saveFixtureTree(t, 256)
+	resp := postJSON(t, ts.URL+"/sessions", CreateSessionRequest{
+		Name: "disk", Source: "gtree", Path: gtreePath, PoolPages: 8,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("create: status %d (%s)", resp.StatusCode, b)
+	}
+	resp.Body.Close()
+
+	// Healthy first.
+	mustGet(t, ts.URL+"/sessions/disk/analysis/graph").Body.Close()
+
+	// Flip the checksum byte of every data page; the 8-frame pool forces
+	// re-reads on the next sweep.
+	raw, err := os.ReadFile(gtreePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pageSize = 256
+	for off := 2*pageSize - 1; off < len(raw); off += pageSize {
+		raw[off] ^= 0x01
+	}
+	if err := os.WriteFile(gtreePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new cache key forces a rebuild over the corrupted pages.
+	resp, err = http.Get(ts.URL + "/sessions/disk/analysis/graph?topk=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("graph analysis over corrupted file: status %d, want 500 (%s)", resp.StatusCode, b)
+	}
+}

@@ -732,8 +732,7 @@ func (s *Server) planExtract(sess *Session, req ExtractRequest) (extractPlan, in
 			status = http.StatusNotFound
 		case errors.Is(err, core.ErrNoCSR):
 			status = http.StatusConflict
-			err = fmt.Errorf("session %q was opened from a v1 G-Tree file without a CSR section; "+
-				"re-save the tree with the current gmine (build + save) to enable extraction: %w", sess.name, err)
+			err = errNoCSRConflict(sess.name, "extraction", err)
 		case errors.Is(err, errBackendFault):
 			status = http.StatusInternalServerError
 		}
@@ -959,6 +958,99 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 		}
 		return body, jsonContentType, 0, nil
 	})
+}
+
+// --- GET /sessions/{id}/analysis/graph --------------------------------------
+
+// graphAnalysisResponse is the wire form of a whole-graph analysis: the
+// structure metrics and PageRank of the ENTIRE session graph, computed
+// over the engine's shared adjacency (out of core for gtree sessions — the
+// paged sweep shows up in the session's /healthz pool counters).
+type graphAnalysisResponse struct {
+	Session          string       `json:"session"`
+	Nodes            int          `json:"nodes"`
+	Edges            int          `json:"edges"`
+	HalfEdges        int          `json:"halfEdges"`
+	SelfLoops        int          `json:"selfLoops"`
+	Directed         bool         `json:"directed"`
+	DegreeMin        int          `json:"degreeMin"`
+	DegreeMax        int          `json:"degreeMax"`
+	DegreeMean       float64      `json:"degreeMean"`
+	PowerLawExponent float64      `json:"powerLawExponent"`
+	WeakComponents   int          `json:"weakComponents"`
+	LargestComponent int          `json:"largestComponent"`
+	TopRanked        []rankedJSON `json:"topRanked"`
+}
+
+func (s *Server) handleGraphAnalysis(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	topK := 10
+	if v := r.URL.Query().Get("topk"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 1000 {
+			writeError(w, http.StatusBadRequest, "bad topk %q (want 1..1000)", v)
+			return
+		}
+		topK = n
+	}
+	key := sess.cacheKey(fmt.Sprintf("analysis-graph|k=%d", topK))
+	s.serveCached(w, key, func() ([]byte, string, int, error) {
+		var body []byte
+		err := sess.withRead(func(eng *core.Engine) error {
+			rep, err := eng.AnalyzeGraph(analysis.PageRankOptions{}, topK)
+			if err != nil {
+				return err
+			}
+			resp := graphAnalysisResponse{
+				Session:          sess.name,
+				Nodes:            rep.Nodes,
+				Edges:            rep.Edges,
+				HalfEdges:        rep.HalfEdges,
+				SelfLoops:        rep.SelfLoops,
+				Directed:         rep.Directed,
+				DegreeMin:        rep.Degree.Min,
+				DegreeMax:        rep.Degree.Max,
+				DegreeMean:       rep.Degree.Mean,
+				PowerLawExponent: sanitizeFloat(rep.Degree.PowerLawExponent),
+				WeakComponents:   rep.WeakComponents,
+				LargestComponent: rep.LargestComponent,
+				TopRanked:        make([]rankedJSON, 0, len(rep.TopRanked)),
+			}
+			for i, u := range rep.TopRanked {
+				resp.TopRanked = append(resp.TopRanked, rankedJSON{
+					Node:     u,
+					Label:    rep.TopLabels[i],
+					PageRank: rep.PageRank[u],
+				})
+			}
+			body = marshalJSON(resp)
+			return nil
+		})
+		if err != nil {
+			// The request itself was validated before the build, so any
+			// error here is the session (404), a v1 file (409), or the
+			// storage backend — including corrupt CSR-section geometry
+			// surfacing raw from Adj() — which must be a 500, never a 400.
+			status := statusOf(err, http.StatusInternalServerError)
+			if errors.Is(err, core.ErrNoCSR) {
+				status = http.StatusConflict
+				err = errNoCSRConflict(sess.name, "whole-graph analysis", err)
+			}
+			return nil, "", status, err
+		}
+		return body, jsonContentType, 0, nil
+	})
+}
+
+// errNoCSRConflict is the actionable 409 body for sessions opened from a
+// v1 G-Tree file (no CSR section): navigation works, whole-graph queries
+// need a re-save.
+func errNoCSRConflict(session, op string, err error) error {
+	return fmt.Errorf("session %q was opened from a v1 G-Tree file without a CSR section; "+
+		"re-save the tree with the current gmine (build + save) to enable %s: %w", session, op, err)
 }
 
 // sanitizeFloat maps NaN/Inf (degenerate power-law fits) to 0 so the

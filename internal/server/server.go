@@ -20,6 +20,7 @@
 //	POST   /sessions/{id}/extract        multi-source connection subgraph
 //	POST   /sessions/{id}/extract/batch  many extractions through one worker pool
 //	GET    /sessions/{id}/analysis       SubgraphReport of a leaf community
+//	GET    /sessions/{id}/analysis/graph whole-graph metrics + PageRank (out of core for gtree sessions)
 //	GET    /sessions/{id}/labels         exact or prefix label search
 package server
 
@@ -109,6 +110,7 @@ func (s *Server) Handler() http.Handler {
 	queries.HandleFunc("POST /sessions/{id}/extract", s.handleExtract)
 	queries.HandleFunc("POST /sessions/{id}/extract/batch", s.handleExtractBatch)
 	queries.HandleFunc("GET /sessions/{id}/analysis", s.handleAnalysis)
+	queries.HandleFunc("GET /sessions/{id}/analysis/graph", s.handleGraphAnalysis)
 	queries.HandleFunc("GET /sessions/{id}/labels", s.handleLabels)
 	timed := http.TimeoutHandler(queries, s.cfg.RequestTimeout,
 		`{"error":"request timed out"}`)

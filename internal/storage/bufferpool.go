@@ -1,7 +1,6 @@
 package storage
 
 import (
-	"container/list"
 	"sync"
 )
 
@@ -16,7 +15,14 @@ type frame struct {
 	id   PageID
 	data []byte
 	pins int
-	elem *list.Element // position in LRU list; nil while pinned
+	// Intrusive LRU links, valid only while inLRU (the frame is unpinned
+	// and evictable). Intrusive rather than container/list so the hottest
+	// pool operations — hit, pin, release — allocate nothing: the paged
+	// kernels call Get/Release once per page per node visit, and a
+	// list.Element allocation per release was the last per-call garbage on
+	// the zero-alloc NeighborsInto path.
+	prev, next *frame
+	inLRU      bool
 }
 
 // BufferPool caches page payloads with LRU eviction. Pages are pinned while
@@ -31,8 +37,10 @@ type BufferPool struct {
 	pager  *Pager
 	cap    int
 	frames map[PageID]*frame
-	lru    *list.List // front = most recent; values are PageID
-	stats  Stats
+	// LRU of unpinned frames: head = most recent, tail = next eviction
+	// victim.
+	head, tail *frame
+	stats      Stats
 }
 
 // NewBufferPool wraps pager with a pool holding up to capacity pages.
@@ -44,10 +52,42 @@ func NewBufferPool(pager *Pager, capacity int) *BufferPool {
 		pager:  pager,
 		cap:    capacity,
 		frames: make(map[PageID]*frame, capacity),
-		lru:    list.New(),
 	}
 	bp.cond = sync.NewCond(&bp.mu)
 	return bp
+}
+
+// lruPushFront marks fr most recently used. Caller holds bp.mu.
+func (bp *BufferPool) lruPushFront(fr *frame) {
+	fr.prev = nil
+	fr.next = bp.head
+	if bp.head != nil {
+		bp.head.prev = fr
+	}
+	bp.head = fr
+	if bp.tail == nil {
+		bp.tail = fr
+	}
+	fr.inLRU = true
+}
+
+// lruRemove unlinks fr from the eviction order. Caller holds bp.mu.
+func (bp *BufferPool) lruRemove(fr *frame) {
+	if !fr.inLRU {
+		return
+	}
+	if fr.prev != nil {
+		fr.prev.next = fr.next
+	} else {
+		bp.head = fr.next
+	}
+	if fr.next != nil {
+		fr.next.prev = fr.prev
+	} else {
+		bp.tail = fr.prev
+	}
+	fr.prev, fr.next = nil, nil
+	fr.inLRU = false
 }
 
 // Get returns the payload of page id, pinning it. The returned slice is the
@@ -69,19 +109,15 @@ func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 		if fr, ok := bp.frames[id]; ok {
 			bp.stats.Hits++
 			fr.pins++
-			if fr.elem != nil {
-				bp.lru.Remove(fr.elem)
-				fr.elem = nil
-			}
+			bp.lruRemove(fr)
 			return fr.data, nil
 		}
 		if len(bp.frames) < bp.cap {
 			break
 		}
-		if back := bp.lru.Back(); back != nil {
-			victim := back.Value.(PageID)
-			bp.lru.Remove(back)
-			delete(bp.frames, victim)
+		if victim := bp.tail; victim != nil {
+			bp.lruRemove(victim)
+			delete(bp.frames, victim.id)
 			bp.stats.Evictions++
 			continue
 		}
@@ -110,7 +146,7 @@ func (bp *BufferPool) Release(id PageID) {
 	}
 	fr.pins--
 	if fr.pins == 0 {
-		fr.elem = bp.lru.PushFront(id)
+		bp.lruPushFront(fr)
 		bp.cond.Broadcast()
 	}
 }
