@@ -505,6 +505,117 @@ func BenchmarkPageRankMemoryVsPaged(b *testing.B) {
 	})
 }
 
+// noSweepBench hides the optional EdgeSweeper/NeighborIDSweeper
+// interfaces by embedding the Adjacency interface value, forcing kernels
+// down the node-centric NeighborsInto path — the PR 4 behavior the
+// edge-centric sweep replaces. (Unlike viaNeighborsBench it keeps the
+// zero-alloc NeighborsInto, so the delta it shows is pool round-trips,
+// not allocation.)
+type noSweepBench struct{ gmine.Adjacency }
+
+// BenchmarkRWRSetSweepVsNeighbors contrasts one whole-graph RWR solve —
+// the extraction hot loop — under the edge-centric blocked sweep against
+// the node-centric NeighborsInto loop, in memory and paged at several
+// pool sizes. The sweep pays O(filePages) buffer-pool round-trips per
+// power iteration where the node-centric loop pays O(n); pins/op reports
+// the measured pool traffic (hits+misses per solve).
+func BenchmarkRWRSetSweepVsNeighbors(b *testing.B) {
+	setup(b)
+	csr := gmine.ToCSR(benchDS.Graph)
+	sources := []gmine.NodeID{
+		benchDS.Notables[gmine.NamePhilipYu],
+		benchDS.Notables[gmine.NameFlipKorn],
+		benchDS.Notables[gmine.NameGarofalakis],
+	}
+	opts := gmine.RWROptions{}
+	run := func(b *testing.B, adj gmine.Adjacency) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := gmine.RWRSet(adj, sources, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("Memory/Sweep", func(b *testing.B) { run(b, csr) })
+	b.Run("Memory/NodeCentric", func(b *testing.B) { run(b, noSweepBench{csr}) })
+	for _, pool := range []int{16, 256, 4096} {
+		for _, mode := range []string{"Sweep", "NodeCentric"} {
+			b.Run(fmt.Sprintf("Paged/%s/pool=%d", mode, pool), func(b *testing.B) {
+				disk, err := gmine.Open(benchTree, pool)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer disk.Close()
+				adj, err := disk.Adj()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == "NodeCentric" {
+					adj = noSweepBench{adj}
+				}
+				adj.WeightedDegrees() // comparable warm start
+				disk.Store().ResetPoolStats()
+				b.ReportAllocs()
+				b.ResetTimer()
+				run(b, adj)
+				b.StopTimer()
+				st := disk.Store().PoolStats()
+				b.ReportMetric(float64(st.Hits+st.Misses)/float64(b.N), "pins/op")
+			})
+		}
+	}
+}
+
+// BenchmarkPageRankSweepVsNeighbors is the PageRank-side contrast — the
+// GET /sessions/{id}/analysis/graph workload — sweep vs node-centric on
+// both backends. This pair is the trajectory point for the sweep
+// conversion: diff Paged/Sweep/pool=256 against Paged/NodeCentric/pool=256
+// in BENCH_extract.json to see what the blocked iteration buys when the
+// pool is much smaller than the CSR section.
+func BenchmarkPageRankSweepVsNeighbors(b *testing.B) {
+	setup(b)
+	csr := gmine.ToCSR(benchDS.Graph)
+	opts := gmine.PageRankOptions{}
+	run := func(b *testing.B, adj gmine.Adjacency) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if pr := gmine.PageRankAdj(adj, opts); len(pr) == 0 {
+				b.Fatal("empty pagerank")
+			}
+		}
+	}
+	b.Run("Memory/Sweep", func(b *testing.B) { run(b, csr) })
+	b.Run("Memory/NodeCentric", func(b *testing.B) { run(b, noSweepBench{csr}) })
+	for _, pool := range []int{16, 256, 4096} {
+		for _, mode := range []string{"Sweep", "NodeCentric"} {
+			b.Run(fmt.Sprintf("Paged/%s/pool=%d", mode, pool), func(b *testing.B) {
+				disk, err := gmine.Open(benchTree, pool)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer disk.Close()
+				adj, err := disk.Adj()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if mode == "NodeCentric" {
+					adj = noSweepBench{adj}
+				}
+				adj.WeightedDegrees()
+				disk.Store().ResetPoolStats()
+				b.ReportAllocs()
+				b.ResetTimer()
+				run(b, adj)
+				b.StopTimer()
+				st := disk.Store().PoolStats()
+				b.ReportMetric(float64(st.Hits+st.Misses)/float64(b.N), "pins/op")
+			})
+		}
+	}
+}
+
 // BenchmarkExtractPagedViaNeighbors is the extraction-side contrast for
 // BenchmarkExtractMemoryVsPaged: the same paged multi-source extraction
 // forced through the copying Neighbors path. Diff its allocs/op against

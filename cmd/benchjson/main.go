@@ -10,13 +10,25 @@
 // Lines that are not benchmark results (pkg headers, PASS, ok) are either
 // captured as environment metadata (goos/goarch/pkg/cpu) or ignored, so
 // the tool can be fed the raw `go test` stream.
+//
+// Compare mode turns two such reports into a CI regression gate:
+//
+//	go run ./cmd/benchjson -compare old.json new.json -tolerance 1.3
+//
+// exits non-zero when any benchmark present in both reports regressed in
+// ns/op by more than the tolerance factor (1.3 = 30% slower). -match
+// restricts the check to benchmark names matching a regexp. Benchmarks
+// present on only one side are reported but never fail the gate (the
+// suite grows over time), and improvements are listed for the log.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -47,6 +59,147 @@ type Report struct {
 }
 
 func main() {
+	compareOld := flag.String("compare", "", "baseline JSON report; compare the new report (positional arg) against it instead of converting stdin")
+	tolerance := flag.Float64("tolerance", 1.3, "ns/op regression factor that fails the compare (1.3 = 30% slower)")
+	match := flag.String("match", "", "regexp restricting -compare to matching benchmark names (default: all)")
+	// Accept flags interleaved with positionals (`-compare old.json
+	// new.json -tolerance 1.3`): the flag package stops at the first
+	// positional, so keep re-parsing the remainder.
+	flag.Parse()
+	var positional []string
+	for args := flag.Args(); len(args) > 0; {
+		// A bare "-" is an operand, not a flag, and flag.Parse leaves it in
+		// place — re-parsing it would spin forever.
+		if strings.HasPrefix(args[0], "-") && args[0] != "-" {
+			if err := flag.CommandLine.Parse(args); err != nil {
+				os.Exit(2)
+			}
+			if rest := flag.Args(); len(rest) < len(args) {
+				args = rest
+				continue
+			}
+		}
+		positional = append(positional, args[0])
+		args = args[1:]
+	}
+	if *compareOld != "" {
+		if len(positional) != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly one new-report argument")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(*compareOld, positional[0], *tolerance, *match))
+	}
+	convert()
+}
+
+// runCompare loads both reports and prints the verdict; returns the
+// process exit code (0 ok, 1 regression, 2 usage/IO error).
+func runCompare(oldPath, newPath string, tolerance float64, match string) int {
+	if tolerance <= 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: tolerance %g must be positive\n", tolerance)
+		return 2
+	}
+	var re *regexp.Regexp
+	if match != "" {
+		var err error
+		if re, err = regexp.Compile(match); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -match: %v\n", err)
+			return 2
+		}
+	}
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	res := compareReports(oldRep, newRep, tolerance, re)
+	for _, l := range res.Notes {
+		fmt.Println(l)
+	}
+	if len(res.Regressions) > 0 {
+		for _, l := range res.Regressions {
+			fmt.Println(l)
+		}
+		fmt.Printf("benchjson: %d benchmark(s) regressed beyond %.2fx\n", len(res.Regressions), tolerance)
+		return 1
+	}
+	fmt.Printf("benchjson: no ns/op regression beyond %.2fx across %d compared benchmark(s)\n", tolerance, res.Compared)
+	return 0
+}
+
+func loadReport(path string) (Report, error) {
+	var rep Report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// CompareResult is the verdict of compareReports: Regressions fail the
+// gate, Notes (improvements, one-sided benchmarks) are informational.
+type CompareResult struct {
+	Compared    int
+	Regressions []string
+	Notes       []string
+}
+
+// compareReports diffs new against old ns/op per benchmark name (the
+// -cpu suffix is already stripped by the parser). A benchmark regresses
+// when newNs > oldNs*tolerance; benchmarks on only one side are noted but
+// never fail, so the gate survives suite growth and renames.
+func compareReports(oldRep, newRep Report, tolerance float64, match *regexp.Regexp) CompareResult {
+	oldBy := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	var res CompareResult
+	seen := make(map[string]bool, len(newRep.Benchmarks))
+	for _, nb := range newRep.Benchmarks {
+		if match != nil && !match.MatchString(nb.Name) {
+			continue
+		}
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			res.Notes = append(res.Notes, fmt.Sprintf("new (no baseline): %s  %.0f ns/op", nb.Name, nb.NsPerOp))
+			continue
+		}
+		if ob.NsPerOp <= 0 || nb.NsPerOp <= 0 {
+			continue
+		}
+		res.Compared++
+		ratio := nb.NsPerOp / ob.NsPerOp
+		switch {
+		case ratio > tolerance:
+			res.Regressions = append(res.Regressions, fmt.Sprintf(
+				"REGRESSION %s: %.0f -> %.0f ns/op (%.2fx > %.2fx)", nb.Name, ob.NsPerOp, nb.NsPerOp, ratio, tolerance))
+		case ratio < 1/tolerance:
+			res.Notes = append(res.Notes, fmt.Sprintf(
+				"improved: %s  %.0f -> %.0f ns/op (%.2fx)", nb.Name, ob.NsPerOp, nb.NsPerOp, ratio))
+		}
+	}
+	for _, ob := range oldRep.Benchmarks {
+		if match != nil && !match.MatchString(ob.Name) {
+			continue
+		}
+		if !seen[ob.Name] {
+			res.Notes = append(res.Notes, fmt.Sprintf("dropped (in baseline only): %s", ob.Name))
+		}
+	}
+	return res
+}
+
+// convert is the original stdin->JSON mode.
+func convert() {
 	rep := Report{Benchmarks: []Benchmark{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -27,6 +27,7 @@ func cmdServe(args []string) error {
 	in := fs.String("in", "", "preload a session from this edge list")
 	tree := fs.String("tree", "", "preload a disk-backed session from this G-Tree file")
 	pool := fs.Int("pool", 0, "buffer-pool pages for the preloaded -tree session (0 = default); bounds resident paged-graph memory")
+	poolQuota := fs.Int("poolquota", 0, "buffer-pool frames each whole-graph query on the preloaded -tree session reserves against eviction by concurrent queries (0 = a quarter of -pool, negative = disabled)")
 	seed := fs.Int64("seed", 1, "seed for the preloaded session")
 	k := fs.Int("k", 5, "hierarchy fanout for preloaded memory sessions")
 	levels := fs.Int("levels", 5, "hierarchy levels for preloaded memory sessions")
@@ -54,7 +55,7 @@ func cmdServe(args []string) error {
 			Seed: *seed, K: *k, Levels: *levels,
 		}
 	case *tree != "":
-		preload = &server.CreateSessionRequest{Name: *name, Source: "gtree", Path: *tree, PoolPages: *pool}
+		preload = &server.CreateSessionRequest{Name: *name, Source: "gtree", Path: *tree, PoolPages: *pool, PoolQuota: *poolQuota}
 	}
 	if preload != nil {
 		begin := time.Now()

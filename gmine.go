@@ -43,6 +43,18 @@ type Adjacency = graph.Adjacency
 // section, reading neighbor ranges through the buffer pool.
 type PagedCSR = gtree.PagedCSR
 
+// EdgeSweeper is the optional edge-centric fast path next to Adjacency:
+// backends that can walk their own storage in layout order emit every
+// node's edge list in one blocked pass, which on a paged CSR costs the
+// buffer pool O(filePages) round-trips per sweep instead of the
+// node-centric loop's O(n). Both *CSR and *PagedCSR implement it; the
+// whole-graph kernels (RWR, PageRank, structure reports) use it
+// automatically. NeighborIDSweeper is its ids-only companion.
+type (
+	EdgeSweeper       = graph.EdgeSweeper
+	NeighborIDSweeper = graph.NeighborIDSweeper
+)
+
 // ErrNoCSR reports a disk-backed engine opened from a v1 G-Tree file,
 // which has no CSR section: re-save the tree to enable extraction.
 var ErrNoCSR = core.ErrNoCSR
@@ -195,6 +207,12 @@ var (
 	RWRPower = extract.RWR
 	RWRPush  = extract.RWRPush
 )
+
+// RWRSet computes RWR with the restart mass spread over a source set —
+// the per-source building block of extraction, exported for benchmarks
+// and direct kernel use. Sweeps edge-centrically when the Adjacency
+// implements EdgeSweeper.
+var RWRSet = extract.RWRSet
 
 // RWRMulti runs one independent RWR per source over a bounded worker pool
 // (RWROptions.Parallel, default GOMAXPROCS); output is bit-identical to

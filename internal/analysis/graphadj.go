@@ -60,12 +60,13 @@ func ReportAdj(adj graph.Adjacency, directed bool) AdjacencyReport {
 
 	rep.Degree.Min = math.MaxInt
 	total := 0
-	// The structure sweep needs only the neighbor ids; the ids-only fast
-	// path keeps a paged sweep from reading (and evicting id pages for)
-	// the EdgeW run it would never look at.
-	var nbrs []graph.NodeID
-	for u := 0; u < n; u++ {
-		nbrs = graph.NeighborIDs(adj, graph.NodeID(u), nbrs[:0])
+	// The structure sweep needs only the neighbor ids; the ids-only paths
+	// keep a paged sweep from reading (and evicting id pages for) the
+	// EdgeW run it would never look at. When the backend can sweep its
+	// own storage in page order (graph.NeighborIDSweeper) the whole pass
+	// costs the buffer pool O(filePages) round-trips instead of O(n);
+	// visit order and rows are identical either way.
+	visit := func(u graph.NodeID, nbrs []graph.NodeID) bool {
 		d := len(nbrs)
 		rep.Degree.Histogram[d]++
 		total += d
@@ -76,12 +77,25 @@ func ReportAdj(adj graph.Adjacency, directed bool) AdjacencyReport {
 			rep.Degree.Max = d
 		}
 		for _, v := range nbrs {
-			if int(v) == u {
+			if v == u {
 				rep.SelfLoops++
 			}
 			if ra, rb := find(int32(u)), find(int32(v)); ra != rb {
 				parent[ra] = rb
 			}
+		}
+		return true
+	}
+	if sweeper, ok := adj.(graph.NeighborIDSweeper); ok {
+		// A sweep error means a paged backend faulted; it has latched the
+		// fault on its epoch, which the engine-level bracket fails the
+		// query on — the partial report never escapes.
+		_ = sweeper.SweepNeighborIDs(0, graph.NodeID(n), visit)
+	} else {
+		var nbrs []graph.NodeID
+		for u := 0; u < n; u++ {
+			nbrs = graph.NeighborIDs(adj, graph.NodeID(u), nbrs[:0])
+			visit(graph.NodeID(u), nbrs)
 		}
 	}
 	rep.Degree.Mean = float64(total) / float64(n)

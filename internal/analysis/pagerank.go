@@ -64,8 +64,15 @@ func PageRankAdj(c graph.Adjacency, opts PageRankOptions) []float64 {
 		rank[i] = inv
 	}
 	wdeg := c.WeightedDegrees()
+	// Edge-centric fast path (see extract.RWRSet): sweep the adjacency in
+	// storage layout order when the backend supports it — O(filePages)
+	// buffer-pool round-trips per iteration on a paged CSR instead of the
+	// node-centric O(n). Emission order and rows are bit-identical to the
+	// NeighborsInto loop, so both paths converge to the same bits.
+	sweeper, _ := c.(graph.EdgeSweeper)
 	// One buffer pair for the whole iteration (this goroutine only): the
-	// paged backend decodes into it instead of allocating per node sweep.
+	// paged backend decodes into it instead of allocating per node sweep
+	// (node-centric fallback only).
 	var nbrs []graph.NodeID
 	var ws []float64
 	for iter := 0; iter < opts.MaxIter; iter++ {
@@ -79,14 +86,31 @@ func PageRankAdj(c graph.Adjacency, opts PageRankOptions) []float64 {
 		for i := range next {
 			next[i] = base
 		}
-		for u := 0; u < n; u++ {
+		push := func(u graph.NodeID, nbrs []graph.NodeID, ws []float64) bool {
 			if wdeg[u] == 0 {
-				continue
+				return true
 			}
 			share := opts.Damping * rank[u] / wdeg[u]
-			nbrs, ws = c.NeighborsInto(graph.NodeID(u), nbrs[:0], ws[:0])
 			for i, v := range nbrs {
 				next[v] += share * ws[i]
+			}
+			return true
+		}
+		if sweeper != nil {
+			if err := sweeper.SweepEdges(0, graph.NodeID(n), push); err != nil {
+				// The Adjacency contract has no error surface here; a paged
+				// backend has latched the fault on its epoch, which the
+				// engine-level bracket turns into ErrPagedIO. Stop iterating
+				// rather than keep grinding a doomed solve.
+				break
+			}
+		} else {
+			for u := 0; u < n; u++ {
+				if wdeg[u] == 0 {
+					continue
+				}
+				nbrs, ws = c.NeighborsInto(graph.NodeID(u), nbrs[:0], ws[:0])
+				push(graph.NodeID(u), nbrs, ws)
 			}
 		}
 		var delta float64

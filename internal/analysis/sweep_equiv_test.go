@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/gtree"
+)
+
+// nodeCentricOnly hides the optional sweeper interfaces by embedding the
+// Adjacency interface value, forcing the node-centric path.
+type nodeCentricOnly struct{ graph.Adjacency }
+
+func analysisFixture(t *testing.T, seed int64, n, m int) (*graph.CSR, *gtree.PagedCSR, *graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.NewWithNodes(n, false)
+	for i := 0; i < m; i++ {
+		g.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), rng.Float64()*5+0.1)
+	}
+	g.Dedup()
+	tree, err := gtree.Build(g, gtree.BuildOptions{K: 3, Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "an.gtree")
+	if err := gtree.Save(tree, g, path, 256); err != nil {
+		t.Fatal(err)
+	}
+	s, err := gtree.OpenFile(path, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	paged, err := s.PagedCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graph.ToCSR(g), paged, g
+}
+
+// TestPageRankAdjSweepBitIdentical: the edge-centric PageRank sweep must
+// converge to exactly the node-centric bits on both backends.
+func TestPageRankAdjSweepBitIdentical(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		csr, paged, _ := analysisFixture(t, seed, 150+int(seed)*40, 600)
+		opts := PageRankOptions{MaxIter: 60}
+		want := PageRankAdj(nodeCentricOnly{csr}, opts)
+		for name, adj := range map[string]graph.Adjacency{
+			"csr-sweep":   csr,
+			"paged-sweep": paged,
+			"paged-node":  nodeCentricOnly{paged},
+		} {
+			got := PageRankAdj(adj, opts)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d %s: %d ranks, want %d", seed, name, len(got), len(want))
+			}
+			for v := range want {
+				if got[v] != want[v] { // exact bits, intentionally
+					t.Fatalf("seed %d %s node %d: %v != %v", seed, name, v, got[v], want[v])
+				}
+			}
+		}
+		if err := paged.Err(); err != nil {
+			t.Fatalf("seed %d: paged fault: %v", seed, err)
+		}
+	}
+}
+
+// TestReportAdjSweepBitIdentical: the one-pass structure report is
+// identical (histograms, components, self-loops, power-law fit) whether
+// it sweeps page runs or walks nodes, memory or paged.
+func TestReportAdjSweepBitIdentical(t *testing.T) {
+	for _, seed := range []int64{4, 5} {
+		csr, paged, g := analysisFixture(t, seed, 200, 800)
+		want := ReportAdj(nodeCentricOnly{csr}, g.Directed())
+		wantFit := math.Float64bits(want.Degree.PowerLawExponent)
+		want.Degree.PowerLawExponent = 0
+		for name, adj := range map[string]graph.Adjacency{
+			"csr-sweep":   csr,
+			"paged-sweep": paged,
+			"paged-node":  nodeCentricOnly{paged},
+		} {
+			got := ReportAdj(adj, g.Directed())
+			// Compare the float fit by bits (NaN-safe, deterministic), the
+			// rest structurally.
+			if math.Float64bits(got.Degree.PowerLawExponent) != wantFit {
+				t.Fatalf("seed %d %s: power-law fit bits %x != %x", seed, name,
+					math.Float64bits(got.Degree.PowerLawExponent), wantFit)
+			}
+			got.Degree.PowerLawExponent = 0
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d %s: report diverged:\n got %+v\nwant %+v", seed, name, got, want)
+			}
+		}
+	}
+}

@@ -56,6 +56,12 @@ type Engine struct {
 	csrOnce sync.Once
 	csr     *graph.CSR
 
+	// poolQuota is the buffer-pool partition each whole-graph query on a
+	// disk-backed engine reserves for itself: 0 = auto (a quarter of the
+	// pool), < 0 = disabled (queries share the pool unpartitioned). See
+	// SetPoolQuota.
+	poolQuota int
+
 	focus   gtree.TreeID
 	history []gtree.TreeID
 }
@@ -143,6 +149,38 @@ func (e *Engine) Adj() (graph.Adjacency, error) {
 		return e.csr, nil
 	}
 	return e.store.PagedCSR()
+}
+
+// SetPoolQuota tunes the per-query buffer-pool partition of disk-backed
+// engines. Every whole-graph query (extraction, PageRank, graph analysis)
+// pins its pages through a partition of `frames` frames: while the query
+// holds no more than its reservation, those frames cannot be evicted by
+// concurrent queries, so one cold sweep can no longer flush another
+// session's hot working set. frames = 0 restores the default (a quarter
+// of the pool, at least one frame); frames < 0 disables partitioning.
+// Reservations beyond the pool's free reservation capacity are clamped,
+// so oversubscription degrades to smaller quotas, never to errors.
+// No-op for memory-backed engines. Not safe to call concurrently with
+// queries; set it right after OpenEngine.
+func (e *Engine) SetPoolQuota(frames int) { e.poolQuota = frames }
+
+// queryAdj returns the adjacency a whole-graph query should solve on and
+// a release function to call when done. Memory-backed engines hand out
+// the shared CSR; disk-backed ones wrap the paged CSR in a per-query
+// buffer-pool partition (see SetPoolQuota) so the query's paging is
+// bounded and accounted separately from concurrent queries'.
+func (e *Engine) queryAdj() (graph.Adjacency, func(), error) {
+	if e.g == nil && e.store.HasCSR() && e.poolQuota >= 0 {
+		frames := e.poolQuota
+		if frames == 0 {
+			if frames = e.store.PoolCapacity() / 4; frames < 1 {
+				frames = 1
+			}
+		}
+		return e.store.PagedCSRPartition(frames)
+	}
+	adj, err := e.Adj()
+	return adj, func() {}, err
 }
 
 // Store returns the backing store of disk-backed engines (nil otherwise).
@@ -349,6 +387,16 @@ func (e *Engine) withFaultCheck(adj graph.Adjacency, fn func() error) error {
 	}
 	epoch := paged.Faults()
 	if err := fn(); err != nil {
+		// The edge-centric sweep kernels return paged read faults directly
+		// (as well as latching them on the epoch); classify those as
+		// backend failures too, so a mid-sweep checksum mismatch is a 500
+		// upstream, never mistaken for a bad request. The check is on the
+		// error's own ErrPagedRead mark, NOT on the shared fault epoch: a
+		// concurrent query faulting while this one returns a plain
+		// validation error must not turn that 400 into a 500.
+		if errors.Is(err, gtree.ErrPagedRead) {
+			return fmt.Errorf("%w: %v", ErrPagedIO, err)
+		}
 		return err
 	}
 	if perr := paged.ErrSince(epoch); perr != nil {
@@ -378,10 +426,11 @@ func (e *Engine) preloadLabelsIfPaged() error {
 // opened from a v1 file (no CSR section) return ErrNoCSR; any paged read
 // fault during the solve fails it with ErrPagedIO.
 func (e *Engine) Extract(sources []graph.NodeID, opts extract.Options) (*extract.Result, error) {
-	adj, err := e.Adj()
+	adj, release, err := e.queryAdj()
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	if err := e.preloadLabelsIfPaged(); err != nil {
 		return nil, err
 	}
@@ -401,10 +450,11 @@ func (e *Engine) Extract(sources []graph.NodeID, opts extract.Options) (*extract
 // same fault discipline as Extract: any paged read fault during the
 // iteration fails the call instead of returning a silently wrong vector.
 func (e *Engine) PageRank(opts analysis.PageRankOptions) ([]float64, error) {
-	adj, err := e.Adj()
+	adj, release, err := e.queryAdj()
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	var ranks []float64
 	if err := e.withFaultCheck(adj, func() error {
 		ranks = analysis.PageRankAdj(adj, opts)
@@ -442,10 +492,14 @@ func (e *Engine) AnalyzeGraph(opts analysis.PageRankOptions, topK int) (*GraphAn
 	if topK <= 0 {
 		topK = 10
 	}
-	adj, err := e.Adj()
+	// One per-query pool partition covers both sweeps: the structure
+	// report warms the pages PageRank is about to walk, and both charge
+	// the same reservation.
+	adj, release, err := e.queryAdj()
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	if err := e.preloadLabelsIfPaged(); err != nil {
 		return nil, err
 	}
@@ -457,7 +511,10 @@ func (e *Engine) AnalyzeGraph(opts analysis.PageRankOptions, topK int) (*GraphAn
 		return nil, err
 	}
 	// PageRank brackets the iteration with its own epoch check.
-	if res.PageRank, err = e.PageRank(opts); err != nil {
+	if err := e.withFaultCheck(adj, func() error {
+		res.PageRank = analysis.PageRankAdj(adj, opts)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	res.TopRanked = analysis.TopKByRank(res.PageRank, topK)

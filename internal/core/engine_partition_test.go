@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/extract"
+	"repro/internal/graph"
+	"repro/internal/gtree"
+)
+
+// TestWholeGraphQueriesReleasePartitions: every whole-graph query path on
+// a disk engine opens a per-query pool partition and must return its
+// reservation on exit — success or failure — so a long session never
+// leaks protected frames.
+func TestWholeGraphQueriesReleasePartitions(t *testing.T) {
+	mem, disk, _ := buildMemAndDisk(t, 16)
+	_ = mem
+	if _, err := disk.PageRank(analysis.PageRankOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := disk.Extract([]graph.NodeID{0, 1}, extract.Options{Budget: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := disk.AnalyzeGraph(analysis.PageRankOptions{}, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Failed queries release too.
+	if _, err := disk.Extract([]graph.NodeID{-5}, extract.Options{Budget: 10}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	pi := disk.Store().PoolInfo()
+	if pi.Reserved != 0 || len(pi.Partitions) != 0 {
+		t.Fatalf("reservations leaked after queries: reserved=%d partitions=%d", pi.Reserved, len(pi.Partitions))
+	}
+}
+
+// TestConcurrentPartitionedQueriesBitIdentical runs whole-graph queries
+// concurrently on one disk engine with a small pool (each inside its own
+// partition, reservations oversubscribed so clamping kicks in) and
+// requires every result to match the serial memory-backed answer exactly.
+// Run under -race in CI; also guards against partition-related deadlock.
+func TestConcurrentPartitionedQueriesBitIdentical(t *testing.T) {
+	mem, disk, _ := buildMemAndDisk(t, 12)
+	disk.SetPoolQuota(8) // 3 concurrent queries want 24 of 12 frames: clamped
+	wantPR, err := mem.PageRank(analysis.PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEx, err := mem.Extract([]graph.NodeID{0, 2}, extract.Options{Budget: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2; i++ {
+				pr, err := disk.PageRank(analysis.PageRankOptions{})
+				if err != nil {
+					t.Errorf("PageRank: %v", err)
+					return
+				}
+				for v := range wantPR {
+					if math.Float64bits(pr[v]) != math.Float64bits(wantPR[v]) {
+						t.Errorf("pagerank[%d] diverged under concurrency", v)
+						return
+					}
+				}
+				ex, err := disk.Extract([]graph.NodeID{0, 2}, extract.Options{Budget: 12})
+				if err != nil {
+					t.Errorf("Extract: %v", err)
+					return
+				}
+				if ex.TotalGoodness != wantEx.TotalGoodness || len(ex.Nodes) != len(wantEx.Nodes) {
+					t.Errorf("extraction diverged under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	pi := disk.Store().PoolInfo()
+	if pi.Reserved != 0 || len(pi.Partitions) != 0 {
+		t.Fatalf("reservations leaked: reserved=%d partitions=%d", pi.Reserved, len(pi.Partitions))
+	}
+	if pi.Resident > pi.Capacity {
+		t.Fatalf("resident %d exceeds capacity %d", pi.Resident, pi.Capacity)
+	}
+}
+
+// TestConcurrentFaultDoesNotReclassifyValidationError: the fault epoch
+// is shared across every view of one file, so query A returning a plain
+// validation error while query B happens to fault must keep A's error a
+// client error (400 upstream), not ErrPagedIO (500). The engine brackets
+// classify on the sweep's ErrPagedRead mark, not on the shared epoch.
+func TestConcurrentFaultDoesNotReclassifyValidationError(t *testing.T) {
+	_, disk, _ := buildMemAndDisk(t, 16)
+	adj, err := disk.Adj()
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged := adj.(*gtree.PagedCSR)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				paged.Neighbors(graph.NodeID(-1)) // bumps the shared fault epoch
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		_, err := disk.Extract([]graph.NodeID{graph.NodeID(1 << 30)}, extract.Options{Budget: 5})
+		if err == nil {
+			t.Fatal("out-of-range source accepted")
+		}
+		if errors.Is(err, ErrPagedIO) {
+			t.Fatalf("validation error reclassified as backend fault: %v", err)
+		}
+	}
+	close(stop)
+	<-done
+}
+
+// TestSetPoolQuotaDisabled: a negative quota turns partitioning off —
+// queries run on the shared pool and still answer correctly.
+func TestSetPoolQuotaDisabled(t *testing.T) {
+	mem, disk, _ := buildMemAndDisk(t, 16)
+	disk.SetPoolQuota(-1)
+	want, err := mem.PageRank(analysis.PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := disk.PageRank(analysis.PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+			t.Fatalf("pagerank[%d]: %v vs %v", v, got[v], want[v])
+		}
+	}
+	if pi := disk.Store().PoolInfo(); pi.Reserved != 0 {
+		t.Fatalf("disabled quota still reserved %d frames", pi.Reserved)
+	}
+}

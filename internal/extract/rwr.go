@@ -103,29 +103,51 @@ func RWRSet(c graph.Adjacency, sources []graph.NodeID, opts RWROptions) ([]float
 	next := make([]float64, n)
 	copy(r, restartMass)
 	cc := opts.Restart
+	// Edge-centric fast path: a backend that can sweep its own storage in
+	// layout order (both of ours can) pushes each pass page run by page
+	// run — O(filePages) buffer-pool round-trips per iteration instead of
+	// the node-centric loop's O(n). The emitted rows are bit-identical to
+	// NeighborsInto in the same ascending-u order, so both paths produce
+	// the same floating-point vector.
+	sweeper, _ := c.(graph.EdgeSweeper)
 	// One buffer pair for the whole solve (this goroutine only): the paged
-	// backend decodes into it instead of allocating per Neighbors call.
+	// backend decodes into it instead of allocating per Neighbors call
+	// (node-centric fallback only).
 	var nbrs []graph.NodeID
 	var ws []float64
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		for i := range next {
 			next[i] = cc * restartMass[i]
 		}
-		for u := 0; u < n; u++ {
+		push := func(u graph.NodeID, nbrs []graph.NodeID, ws []float64) bool {
 			if r[u] == 0 {
-				continue
+				return true
 			}
 			if wdeg[u] == 0 {
 				// Dangling walker restarts entirely.
 				for _, s := range sources {
 					next[s] += (1 - cc) * r[u] * share
 				}
-				continue
+				return true
 			}
 			scale := (1 - cc) * r[u] / wdeg[u]
-			nbrs, ws = c.NeighborsInto(graph.NodeID(u), nbrs[:0], ws[:0])
 			for i, v := range nbrs {
 				next[v] += scale * ws[i]
+			}
+			return true
+		}
+		if sweeper != nil {
+			if err := sweeper.SweepEdges(0, graph.NodeID(n), push); err != nil {
+				return nil, err
+			}
+		} else {
+			for u := 0; u < n; u++ {
+				if r[u] == 0 || wdeg[u] == 0 {
+					push(graph.NodeID(u), nil, nil)
+					continue
+				}
+				nbrs, ws = c.NeighborsInto(graph.NodeID(u), nbrs[:0], ws[:0])
+				push(graph.NodeID(u), nbrs, ws)
 			}
 		}
 		var delta float64

@@ -88,5 +88,53 @@ func NeighborIDs(adj Adjacency, u NodeID, buf []NodeID) []NodeID {
 	return nbrs
 }
 
+// EdgeSweeper is the optional edge-centric fast path next to Adjacency for
+// whole-graph kernels (RWR power iteration, PageRank, structure reports)
+// that visit EVERY node's edge list per pass. A node-centric loop over
+// NeighborsInto asks the backend for one node at a time, which on a paged
+// implementation pins and unpins the underlying pages once per node even
+// though one page holds hundreds of half-edges — O(n) buffer-pool
+// round-trips per iteration where O(filePages) would do. SweepEdges
+// inverts the loop: the backend walks its own storage in layout order
+// (page run by page run for a paged CSR, a plain slice walk for the
+// in-memory one) and emits each node's full edge list to the callback.
+//
+// Contract:
+//
+//   - Every node u in [lo,hi) is emitted exactly once, in ascending order,
+//     INCLUDING zero-degree nodes (with empty slices) — kernels rely on
+//     seeing dangling nodes.
+//   - nbrs and w are parallel, read-only, and valid only for the duration
+//     of the callback: they alias the sweep's block buffers (or the CSR's
+//     internal storage) and are overwritten or recycled as soon as fn
+//     returns. Callers must copy anything they keep.
+//   - fn returning false stops the sweep early; SweepEdges then returns
+//     nil.
+//   - The emitted ids, weights and their order are bit-identical to what
+//     Neighbors/NeighborsInto would return for the same nodes, so a kernel
+//     produces the same floating-point result on either path.
+//   - Bounds faults (lo<0, hi<lo, hi>N) and, on a paged implementation,
+//     I/O or corruption faults mid-sweep return a non-nil error. A paged
+//     implementation additionally records the fault on its Faults/ErrSince
+//     epoch, exactly like NeighborsInto, so the engine-level fault
+//     discipline keeps working unchanged.
+//   - Safe for concurrent sweeps on one instance; each call uses its own
+//     block buffers.
+type EdgeSweeper interface {
+	SweepEdges(lo, hi NodeID, fn func(u NodeID, nbrs []NodeID, w []float64) bool) error
+}
+
+// NeighborIDSweeper is the ids-only companion of EdgeSweeper, for sweeps
+// that never look at weights (connectivity, degree reports). A paged
+// implementation skips the EdgeW run entirely — weights are 8 of the 12
+// bytes per half-edge — so the blocked structure sweep reads a third of
+// the bytes SweepEdges would. Same contract as EdgeSweeper with the
+// weight slice dropped.
+type NeighborIDSweeper interface {
+	SweepNeighborIDs(lo, hi NodeID, fn func(u NodeID, nbrs []NodeID) bool) error
+}
+
 var _ Adjacency = (*CSR)(nil)
 var _ NeighborLister = (*CSR)(nil)
+var _ EdgeSweeper = (*CSR)(nil)
+var _ NeighborIDSweeper = (*CSR)(nil)

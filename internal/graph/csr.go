@@ -1,6 +1,9 @@
 package graph
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // CSR is a compressed-sparse-row view of a graph, the layout used by the
 // partitioner and the random-walk kernels. For undirected graphs the
@@ -73,6 +76,39 @@ func (c *CSR) NeighborsInto(u NodeID, _ []NodeID, _ []float64) ([]NodeID, []floa
 func (c *CSR) NeighborIDsInto(u NodeID, _ []NodeID) []NodeID {
 	lo, hi := c.Xadj[u], c.Xadj[u+1]
 	return c.Adjncy[lo:hi:hi]
+}
+
+// SweepEdges emits every node in [lo,hi) with its neighbor row
+// (EdgeSweeper). On the in-memory CSR the "blocked sweep" degenerates to
+// a slice walk handing out cap-clamped aliases of internal storage — no
+// copies, no allocations — so kernels can use one code path for both
+// backends.
+func (c *CSR) SweepEdges(lo, hi NodeID, fn func(u NodeID, nbrs []NodeID, w []float64) bool) error {
+	if lo < 0 || hi < lo || int(hi) > c.NumNodes {
+		return fmt.Errorf("graph: sweep range [%d,%d) out of bounds (n=%d)", lo, hi, c.NumNodes)
+	}
+	for u := lo; u < hi; u++ {
+		a, b := c.Xadj[u], c.Xadj[u+1]
+		if !fn(u, c.Adjncy[a:b:b], c.EdgeW[a:b:b]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// SweepNeighborIDs is the ids-only sweep (NeighborIDSweeper); same slice
+// walk as SweepEdges without the weight row.
+func (c *CSR) SweepNeighborIDs(lo, hi NodeID, fn func(u NodeID, nbrs []NodeID) bool) error {
+	if lo < 0 || hi < lo || int(hi) > c.NumNodes {
+		return fmt.Errorf("graph: sweep range [%d,%d) out of bounds (n=%d)", lo, hi, c.NumNodes)
+	}
+	for u := lo; u < hi; u++ {
+		a, b := c.Xadj[u], c.Xadj[u+1]
+		if !fn(u, c.Adjncy[a:b:b]) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Degree returns the number of stored half-edges at u.

@@ -2,6 +2,7 @@ package gtree
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -10,6 +11,14 @@ import (
 	"repro/internal/graph"
 	"repro/internal/storage"
 )
+
+// ErrPagedRead marks errors returned directly by the blocked sweeps
+// (SweepEdges/SweepNeighborIDs): bounds, I/O and corruption faults hit
+// while paging the CSR section. Kernels propagate these unchanged, and
+// core.Engine uses the mark (errors.Is) to classify a failed solve as a
+// backend fault — a concurrent query's fault bumping the shared epoch
+// must not be enough to reclassify an unrelated validation error.
+var ErrPagedRead = errors.New("gtree: paged read fault")
 
 // PagedCSR is the disk-backed implementation of graph.Adjacency: the
 // persisted CSR section of a v2 G-Tree file read on demand through the
@@ -33,6 +42,12 @@ import (
 // ErrSince afterwards, discarding the result on any fault (core.Engine
 // does this); the epoch protocol stays correct under concurrent queries
 // sharing one view.
+//
+// A PagedCSR may be a pool-partition view of another (see
+// Store.PagedCSRPartition): views share the fault epoch and the cached
+// weighted-degree table but pin pages through their own
+// storage.Partition, so one query's paging is accounted — and it's
+// resident set bounded — separately from concurrent queries'.
 type PagedCSR struct {
 	n         int
 	halfEdges int
@@ -42,6 +57,14 @@ type PagedCSR struct {
 	edgew     *storage.RunReader
 	nodew     *storage.RunReader
 
+	// sh is shared between a base PagedCSR and all its pool-partition
+	// views: the fault-epoch latch, the weighted-degree cache and the
+	// scratch pools are properties of the underlying file, not of the pool
+	// a particular query pins pages through.
+	sh *pagedShared
+}
+
+type pagedShared struct {
 	mu      sync.Mutex
 	faults  uint64 // total faults observed; queries compare epochs
 	lastErr error
@@ -56,15 +79,22 @@ type PagedCSR struct {
 	// into sync.Pool's interface is free, while boxing a slice header
 	// allocates on every Put.
 	scratch sync.Pool
+
+	// sweeps recycles the block buffers of the edge-centric sweep
+	// (*sweepBufs): one set per concurrent sweep, a few tens of KiB each,
+	// reused across the O(iterations) sweeps of a power-iteration solve.
+	sweeps sync.Pool
 }
 
 var _ graph.Adjacency = (*PagedCSR)(nil)
 var _ graph.NeighborLister = (*PagedCSR)(nil)
+var _ graph.EdgeSweeper = (*PagedCSR)(nil)
+var _ graph.NeighborIDSweeper = (*PagedCSR)(nil)
 
 // newPagedCSR wires the four run readers over the store's buffer pool,
 // validating the section's geometry against the file.
 func newPagedCSR(s *Store) (*PagedCSR, error) {
-	c := &PagedCSR{n: s.graphNodes, halfEdges: s.halfEdges, directed: s.directed}
+	c := &PagedCSR{n: s.graphNodes, halfEdges: s.halfEdges, directed: s.directed, sh: &pagedShared{}}
 	var err error
 	if c.xadj, err = storage.NewRunReader(s.pool, s.csrPages[0], 4, s.graphNodes+1); err != nil {
 		return nil, fmt.Errorf("gtree: CSR xadj: %w", err)
@@ -81,6 +111,19 @@ func newPagedCSR(s *Store) (*PagedCSR, error) {
 	return c, nil
 }
 
+// withPool returns a view of c that pins pages through p (normally a
+// storage.Partition), sharing the fault epoch, weighted-degree cache and
+// scratch pools with c. Both stay safe for concurrent use.
+func (c *PagedCSR) withPool(p storage.PagePool) *PagedCSR {
+	return &PagedCSR{
+		n: c.n, halfEdges: c.halfEdges, directed: c.directed, sh: c.sh,
+		xadj:   c.xadj.WithPool(p),
+		adjncy: c.adjncy.WithPool(p),
+		edgew:  c.edgew.WithPool(p),
+		nodew:  c.nodew.WithPool(p),
+	}
+}
+
 // N returns the number of nodes.
 func (c *PagedCSR) N() int { return c.n }
 
@@ -94,9 +137,9 @@ func (c *PagedCSR) Directed() bool { return c.directed }
 // or nil if none ever occurred. For query-scoped checking use
 // Faults/ErrSince.
 func (c *PagedCSR) Err() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lastErr
+	c.sh.mu.Lock()
+	defer c.sh.mu.Unlock()
+	return c.sh.lastErr
 }
 
 // Faults returns the fault epoch: the count of faults observed so far.
@@ -106,29 +149,40 @@ func (c *PagedCSR) Err() error {
 // an error is never "consumed", so query A's fault cannot be stolen by
 // query B's check, and a clean query that overlapped a faulted one fails
 // closed instead of returning garbage. Transient faults still recover:
-// the next query snapshots the new epoch and re-reads the pages.
+// the next query snapshots the new epoch and re-reads the pages. The
+// epoch is shared across pool-partition views of one file.
 func (c *PagedCSR) Faults() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.faults
+	c.sh.mu.Lock()
+	defer c.sh.mu.Unlock()
+	return c.sh.faults
 }
 
 // ErrSince reports the latest fault if any accessor faulted after the
 // given epoch snapshot, else nil.
 func (c *PagedCSR) ErrSince(epoch uint64) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.faults != epoch {
-		return c.lastErr
+	c.sh.mu.Lock()
+	defer c.sh.mu.Unlock()
+	if c.sh.faults != epoch {
+		return c.sh.lastErr
 	}
 	return nil
 }
 
 func (c *PagedCSR) setErr(err error) {
-	c.mu.Lock()
-	c.faults++
-	c.lastErr = err
-	c.mu.Unlock()
+	c.sh.mu.Lock()
+	c.sh.faults++
+	c.sh.lastErr = err
+	c.sh.mu.Unlock()
+}
+
+// sweepFault marks err with ErrPagedRead, latches it on the fault epoch
+// and returns it — every error a sweep hands back goes through here, so
+// callers can tell "this solve's sweep failed" apart from "someone
+// else's query faulted meanwhile".
+func (c *PagedCSR) sweepFault(err error) error {
+	err = fmt.Errorf("%w: %w", ErrPagedRead, err)
+	c.setErr(err)
+	return err
 }
 
 // xrange reads Xadj[u] and Xadj[u+1], the bounds of u's neighbor range.
@@ -185,7 +239,7 @@ func (c *PagedCSR) NeighborsInto(u graph.NodeID, nbrBuf []graph.NodeID, wBuf []f
 		return nbrBuf, wBuf
 	}
 	m := hi - lo
-	p, _ := c.scratch.Get().(*[]byte)
+	p, _ := c.sh.scratch.Get().(*[]byte)
 	if p == nil {
 		p = new([]byte)
 	}
@@ -196,7 +250,7 @@ func (c *PagedCSR) NeighborsInto(u graph.NodeID, nbrBuf []graph.NodeID, wBuf []f
 	}
 	raw = raw[:m*8]
 	nbrBuf, wBuf = c.decodeInto(lo, hi, raw, nbrBuf, wBuf)
-	c.scratch.Put(p)
+	c.sh.scratch.Put(p)
 	return nbrBuf, wBuf
 }
 
@@ -211,7 +265,7 @@ func (c *PagedCSR) NeighborIDsInto(u graph.NodeID, buf []graph.NodeID) []graph.N
 		return buf
 	}
 	m := hi - lo
-	p, _ := c.scratch.Get().(*[]byte)
+	p, _ := c.sh.scratch.Get().(*[]byte)
 	if p == nil {
 		p = new([]byte)
 	}
@@ -230,7 +284,7 @@ func (c *PagedCSR) NeighborIDsInto(u graph.NodeID, buf []graph.NodeID) []graph.N
 			buf[nb+i] = graph.NodeID(int32(binary.LittleEndian.Uint32(raw[4*i:])))
 		}
 	}
-	c.scratch.Put(p)
+	c.sh.scratch.Put(p)
 	return buf
 }
 
@@ -273,63 +327,222 @@ func (c *PagedCSR) NodeWeight(u graph.NodeID) int32 {
 	return int32(binary.LittleEndian.Uint32(buf[:]))
 }
 
-// wdegChunk bounds the scratch buffer of the WeightedDegrees sweep (in
-// elements), keeping the one O(E) pass itself pool-friendly.
-const wdegChunk = 4096
+// --- Edge-centric blocked sweep -------------------------------------------
+
+// Sweep block sizes, in elements. One Xadj window of node offsets and one
+// Adjncy/EdgeW window of half-edges are decoded at a time; at the default
+// 4KiB page size a window spans a handful of pages, each pinned exactly
+// once per window by the underlying RunReader.Read.
+const (
+	sweepNodeChunk = 4096 // node offsets per Xadj window
+	sweepEdgeChunk = 4096 // half-edges per Adjncy/EdgeW window
+)
+
+// sweepMode selects which runs a sweep decodes.
+type sweepMode uint8
+
+const (
+	sweepIDs sweepMode = 1 << iota // decode the Adjncy run
+	sweepW                         // decode the EdgeW run
+)
+
+// sweepBufs is one sweep's reusable block state: the raw page-copy
+// scratch, the decoded Xadj window and the decoded edge window.
+type sweepBufs struct {
+	raw  []byte
+	xadj []int32
+	ids  []graph.NodeID
+	ws   []float64
+}
+
+// SweepEdges implements graph.EdgeSweeper: it emits every node in [lo,hi)
+// with its full neighbor row, walking the Xadj, Adjncy and EdgeW runs in
+// page order. Where the node-centric NeighborsInto loop costs the buffer
+// pool O(n) pin/unpin round-trips per pass — one per node, even though a
+// page holds hundreds of half-edges — the blocked sweep decodes whole
+// page runs into block buffers and costs O(filePages): each page is
+// pinned once per window that touches it, and an edge list straddling two
+// windows is carried across instead of re-read. The emitted slices alias
+// the sweep's block buffers and are invalid after the callback returns.
+// Faults (bounds, I/O, corrupt offsets) are recorded on the fault epoch
+// and returned; the callback is never invoked with partial data.
+func (c *PagedCSR) SweepEdges(lo, hi graph.NodeID, fn func(u graph.NodeID, nbrs []graph.NodeID, w []float64) bool) error {
+	return c.sweep(int(lo), int(hi), sweepIDs|sweepW, func(u int, ids []graph.NodeID, ws []float64) bool {
+		return fn(graph.NodeID(u), ids, ws)
+	})
+}
+
+// SweepNeighborIDs implements graph.NeighborIDSweeper: SweepEdges without
+// the EdgeW run — weights are 8 of the 12 bytes per half-edge, so the
+// blocked structure sweep reads a third of the bytes.
+func (c *PagedCSR) SweepNeighborIDs(lo, hi graph.NodeID, fn func(u graph.NodeID, nbrs []graph.NodeID) bool) error {
+	return c.sweep(int(lo), int(hi), sweepIDs, func(u int, ids []graph.NodeID, _ []float64) bool {
+		return fn(graph.NodeID(u), ids)
+	})
+}
+
+// sweep is the shared blocked-iteration core behind SweepEdges,
+// SweepNeighborIDs and WeightedDegrees. mode selects which runs are
+// decoded; emit receives block-buffer subslices for exactly the selected
+// runs (nil otherwise), valid only for the duration of the call.
+func (c *PagedCSR) sweep(lo, hi int, mode sweepMode, emit func(u int, ids []graph.NodeID, ws []float64) bool) error {
+	if lo < 0 || hi < lo || hi > c.n {
+		return c.sweepFault(fmt.Errorf("gtree: sweep range [%d,%d) out of bounds (n=%d)", lo, hi, c.n))
+	}
+	if lo == hi {
+		return nil
+	}
+	b, _ := c.sh.sweeps.Get().(*sweepBufs)
+	if b == nil {
+		b = &sweepBufs{
+			raw:  make([]byte, sweepEdgeChunk*8),
+			xadj: make([]int32, sweepNodeChunk+1),
+			ids:  make([]graph.NodeID, sweepEdgeChunk),
+			ws:   make([]float64, sweepEdgeChunk),
+		}
+	}
+	defer c.sh.sweeps.Put(b)
+
+	winLo, winHi := 0, 0 // decoded half-edge range resident in b.ids/b.ws
+	for base := lo; base < hi; base += sweepNodeChunk {
+		nodeHi := base + sweepNodeChunk
+		if nodeHi > hi {
+			nodeHi = hi
+		}
+		cnt := nodeHi - base + 1 // offsets for [base,nodeHi] inclusive
+		if err := c.xadj.Read(base, base+cnt, b.raw[:cnt*4]); err != nil {
+			return c.sweepFault(err)
+		}
+		for i := 0; i < cnt; i++ {
+			b.xadj[i] = int32(binary.LittleEndian.Uint32(b.raw[4*i:]))
+		}
+		for u := base; u < nodeHi; u++ {
+			elo, ehi := int(b.xadj[u-base]), int(b.xadj[u-base+1])
+			if elo < 0 || ehi < elo || ehi > c.halfEdges {
+				return c.sweepFault(fmt.Errorf("gtree: corrupt CSR xadj at node %d: [%d,%d) of %d half-edges", u, elo, ehi, c.halfEdges))
+			}
+			if elo == ehi {
+				// Zero-degree node: emitted (kernels need the dangling
+				// branch) without touching the edge runs.
+				if !emit(u, nil, nil) {
+					return nil
+				}
+				continue
+			}
+			if elo < winLo || ehi > winHi {
+				var err error
+				if winLo, winHi, err = c.advanceWindow(b, winLo, winHi, elo, ehi, mode); err != nil {
+					return err
+				}
+			}
+			var ids []graph.NodeID
+			var ws []float64
+			if mode&sweepIDs != 0 {
+				ids = b.ids[elo-winLo : ehi-winLo : ehi-winLo]
+			}
+			if mode&sweepW != 0 {
+				ws = b.ws[elo-winLo : ehi-winLo : ehi-winLo]
+			}
+			if !emit(u, ids, ws) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// advanceWindow slides the decoded edge window so it covers [elo,ehi).
+// The already-decoded tail [elo,winHi) is carried to the front of the
+// block buffers (the page-straddling case: a node's list begins in the
+// previous window) and only the missing suffix is read, so every Adjncy
+// and EdgeW page is pinned once per window that touches it. A list larger
+// than sweepEdgeChunk grows the window to hold it whole.
+func (c *PagedCSR) advanceWindow(b *sweepBufs, winLo, winHi, elo, ehi int, mode sweepMode) (int, int, error) {
+	if elo >= winLo && elo < winHi {
+		keep := winHi - elo
+		if mode&sweepIDs != 0 {
+			copy(b.ids, b.ids[elo-winLo:elo-winLo+keep])
+		}
+		if mode&sweepW != 0 {
+			copy(b.ws, b.ws[elo-winLo:elo-winLo+keep])
+		}
+		winLo = elo
+	} else {
+		winLo, winHi = elo, elo
+	}
+	target := winLo + sweepEdgeChunk
+	if target < ehi {
+		target = ehi
+	}
+	if target > c.halfEdges {
+		target = c.halfEdges
+	}
+	need := target - winLo
+	if len(b.ids) < need && mode&sweepIDs != 0 {
+		nb := make([]graph.NodeID, need)
+		copy(nb, b.ids)
+		b.ids = nb
+	}
+	if len(b.ws) < need && mode&sweepW != 0 {
+		nw := make([]float64, need)
+		copy(nw, b.ws)
+		b.ws = nw
+	}
+	m := target - winHi
+	if len(b.raw) < m*8 {
+		b.raw = make([]byte, m*8)
+	}
+	if mode&sweepIDs != 0 {
+		if err := c.adjncy.Read(winHi, target, b.raw[:m*4]); err != nil {
+			return winLo, winHi, c.sweepFault(err)
+		}
+		at := winHi - winLo
+		for i := 0; i < m; i++ {
+			b.ids[at+i] = graph.NodeID(int32(binary.LittleEndian.Uint32(b.raw[4*i:])))
+		}
+	}
+	if mode&sweepW != 0 {
+		if err := c.edgew.Read(winHi, target, b.raw[:m*8]); err != nil {
+			return winLo, winHi, c.sweepFault(err)
+		}
+		at := winHi - winLo
+		for i := 0; i < m; i++ {
+			b.ws[at+i] = math.Float64frombits(binary.LittleEndian.Uint64(b.raw[8*i:]))
+		}
+	}
+	return winLo, target, nil
+}
 
 // WeightedDegrees returns the per-node weighted degree table, computed on
-// first use by one streaming sweep over the Xadj and EdgeW runs and cached
+// first use by one blocked sweep over the Xadj and EdgeW runs and cached
 // for the store's lifetime (the table is O(N), which is resident anyway
 // for every RWR/PageRank solve; it is the O(E) adjacency that stays on
 // disk). A build that hits an I/O fault latches the error and is NOT
 // cached, so the next query retries from the pages instead of serving a
 // half-built table forever. Safe for concurrent use; callers must not
-// mutate the result.
+// mutate the result. Pool-partition views share one cache.
 func (c *PagedCSR) WeightedDegrees() []float64 {
-	c.wdegMu.Lock()
-	defer c.wdegMu.Unlock()
-	if c.wdeg != nil {
-		return c.wdeg
+	sh := c.sh
+	sh.wdegMu.Lock()
+	defer sh.wdegMu.Unlock()
+	if sh.wdeg != nil {
+		return sh.wdeg
 	}
 	wdeg := make([]float64, c.n)
 	if c.n == 0 {
-		c.wdeg = wdeg
+		sh.wdeg = wdeg
 		return wdeg
 	}
-	// Node boundaries: stream Xadj once into a compact offsets table.
-	xadj := make([]int32, c.n+1)
-	buf := make([]byte, wdegChunk*8)
-	for lo := 0; lo <= c.n; lo += wdegChunk {
-		hi := lo + wdegChunk
-		if hi > c.n+1 {
-			hi = c.n + 1
+	if err := c.sweep(0, c.n, sweepW, func(u int, _ []graph.NodeID, ws []float64) bool {
+		var s float64
+		for _, w := range ws {
+			s += w
 		}
-		if err := c.xadj.Read(lo, hi, buf[:(hi-lo)*4]); err != nil {
-			c.setErr(err)
-			return wdeg
-		}
-		for i := lo; i < hi; i++ {
-			xadj[i] = int32(binary.LittleEndian.Uint32(buf[(i-lo)*4:]))
-		}
+		wdeg[u] = s
+		return true
+	}); err != nil {
+		return wdeg // fault latched by the sweep; not cached
 	}
-	// One pass over EdgeW, attributing weights by walking the offsets.
-	u := 0
-	for lo := 0; lo < c.halfEdges; lo += wdegChunk {
-		hi := lo + wdegChunk
-		if hi > c.halfEdges {
-			hi = c.halfEdges
-		}
-		if err := c.edgew.Read(lo, hi, buf[:(hi-lo)*8]); err != nil {
-			c.setErr(err)
-			return wdeg
-		}
-		for i := lo; i < hi; i++ {
-			for u < c.n-1 && int32(i) >= xadj[u+1] {
-				u++
-			}
-			wdeg[u] += math.Float64frombits(binary.LittleEndian.Uint64(buf[(i-lo)*8:]))
-		}
-	}
-	c.wdeg = wdeg
+	sh.wdeg = wdeg
 	return wdeg
 }

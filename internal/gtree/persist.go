@@ -575,6 +575,25 @@ func (s *Store) PagedCSR() (*PagedCSR, error) {
 	return s.csr, s.csrErr
 }
 
+// PagedCSRPartition returns a view of the store's paged CSR whose page
+// pins go through a dedicated buffer-pool partition of up to frames
+// frames (clamped to the pool's unreserved capacity), plus a release
+// function that MUST be called when the query finishes. While the view
+// holds no more frames than its reservation, those frames cannot be
+// evicted by other queries — so one cold whole-graph sweep can no longer
+// flush a concurrent session's hot working set. The view shares the base
+// CSR's fault epoch and weighted-degree cache; releasing it demotes its
+// frames to the shared remainder (they stay resident, just unprotected).
+// Returns ErrNoCSR for v1 files.
+func (s *Store) PagedCSRPartition(frames int) (*PagedCSR, func(), error) {
+	base, err := s.PagedCSR()
+	if err != nil {
+		return nil, nil, err
+	}
+	part := s.pool.Partition(frames)
+	return base.withPool(part), part.Close, nil
+}
+
 // PreloadLabels loads the label index and builds its node-indexed view,
 // surfacing any read fault. Callers that will annotate results through
 // LabelOf (which cannot return an error) call this first, so a failed
@@ -610,28 +629,37 @@ func (s *Store) LabelOf(u graph.NodeID) string {
 
 // PoolInfo bundles the buffer-pool counters with its configuration — the
 // observability surface for out-of-core behavior (served on /healthz and
-// in per-session info by the HTTP server).
+// in per-session info by the HTTP server). Partitions lists the
+// reservations of queries currently in flight (empty when the store is
+// idle); Reserved is the frames they hold back from the shared remainder.
 type PoolInfo struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	Capacity  int
-	Resident  int
-	FilePages uint32
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Capacity   int
+	Resident   int
+	Reserved   int
+	FilePages  uint32
+	Partitions []storage.PartitionStats
 }
 
 // PoolInfo snapshots the buffer pool and file size.
 func (s *Store) PoolInfo() PoolInfo {
 	st := s.pool.Stats()
 	return PoolInfo{
-		Hits:      st.Hits,
-		Misses:    st.Misses,
-		Evictions: st.Evictions,
-		Capacity:  s.pool.Capacity(),
-		Resident:  s.pool.Resident(),
-		FilePages: s.pager.NumPages(),
+		Hits:       st.Hits,
+		Misses:     st.Misses,
+		Evictions:  st.Evictions,
+		Capacity:   s.pool.Capacity(),
+		Resident:   s.pool.Resident(),
+		Reserved:   s.pool.Reserved(),
+		FilePages:  s.pager.NumPages(),
+		Partitions: s.pool.Partitions(),
 	}
 }
+
+// PoolCapacity returns the buffer pool's frame capacity.
+func (s *Store) PoolCapacity() int { return s.pool.Capacity() }
 
 // PoolStats returns buffer pool counters (experiment E10).
 func (s *Store) PoolStats() storage.Stats { return s.pool.Stats() }

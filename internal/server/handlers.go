@@ -146,28 +146,52 @@ type healthResponse struct {
 }
 
 // PoolInfo is the wire form of a disk-backed session's buffer-pool state.
+// Partitions lists the per-query reservations currently in flight (one
+// per running whole-graph query; empty when the session is idle), so an
+// operator can see which query holds how many protected frames and how
+// its private hit rate is doing.
 type PoolInfo struct {
+	Hits       uint64          `json:"hits"`
+	Misses     uint64          `json:"misses"`
+	Evictions  uint64          `json:"evictions"`
+	Capacity   int             `json:"capacity"`
+	Resident   int             `json:"resident"`
+	Reserved   int             `json:"reserved"`
+	FilePages  uint32          `json:"filePages"`
+	HasCSR     bool            `json:"hasCSR"`
+	Partitions []PartitionInfo `json:"partitions,omitempty"`
+}
+
+// PartitionInfo is the wire form of one in-flight query's buffer-pool
+// partition.
+type PartitionInfo struct {
+	Quota     int    `json:"quota"`
+	Held      int    `json:"held"`
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
-	Capacity  int    `json:"capacity"`
-	Resident  int    `json:"resident"`
-	FilePages uint32 `json:"filePages"`
-	HasCSR    bool   `json:"hasCSR"`
 }
 
 // poolInfoFrom converts a store's pool snapshot to the wire form.
 func poolInfoFrom(st *gtree.Store) *PoolInfo {
 	pi := st.PoolInfo()
-	return &PoolInfo{
+	out := &PoolInfo{
 		Hits:      pi.Hits,
 		Misses:    pi.Misses,
 		Evictions: pi.Evictions,
 		Capacity:  pi.Capacity,
 		Resident:  pi.Resident,
+		Reserved:  pi.Reserved,
 		FilePages: pi.FilePages,
 		HasCSR:    st.HasCSR(),
 	}
+	for _, p := range pi.Partitions {
+		out.Partitions = append(out.Partitions, PartitionInfo{
+			Quota: p.Quota, Held: p.Held,
+			Hits: p.Hits, Misses: p.Misses, Evictions: p.Evictions,
+		})
+	}
+	return out
 }
 
 // poolInfo snapshots a session's buffer pool, or nil for memory sessions.
@@ -230,6 +254,10 @@ type CreateSessionRequest struct {
 	Method       string `json:"method"` // "multilevel" (default), "bfs", "random"
 	// PoolPages bounds the buffer pool of "gtree" sources (0 = default).
 	PoolPages int `json:"poolPages"`
+	// PoolQuota is the per-query buffer-pool partition of "gtree" sources:
+	// each whole-graph query reserves this many frames that concurrent
+	// queries cannot evict (0 = a quarter of the pool, < 0 = disabled).
+	PoolQuota int `json:"poolQuota"`
 }
 
 func validName(s string) bool {
@@ -368,7 +396,12 @@ func buildEngine(req CreateSessionRequest, method partition.Method) (*core.Engin
 		g.Dedup()
 		return core.BuildEngine(g, cfg)
 	case "gtree":
-		return core.OpenEngine(req.Path, req.PoolPages)
+		eng, err := core.OpenEngine(req.Path, req.PoolPages)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetPoolQuota(req.PoolQuota)
+		return eng, nil
 	}
 	return nil, fmt.Errorf("unreachable source %q", req.Source)
 }

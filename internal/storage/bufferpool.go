@@ -11,10 +11,26 @@ type Stats struct {
 	Evictions uint64
 }
 
+// PagePool is the page-pinning interface readers (blob, run, leaf) go
+// through: the shared BufferPool itself, or a Partition view of it whose
+// pins are accounted against a per-query reservation.
+type PagePool interface {
+	// Get returns the payload of page id, pinned until Release.
+	Get(id PageID) ([]byte, error)
+	// Release unpins page id.
+	Release(id PageID)
+}
+
 type frame struct {
 	id   PageID
 	data []byte
 	pins int
+	// owner is the Partition whose Get loaded (or adopted) this frame, nil
+	// for frames belonging to the shared remainder. While owner's resident
+	// frame count is within its quota, other requesters may not evict this
+	// frame — that reservation is what keeps one query's cold sweep from
+	// flushing another's working set.
+	owner *Partition
 	// Intrusive LRU links, valid only while inLRU (the frame is unpinned
 	// and evictable). Intrusive rather than container/list so the hottest
 	// pool operations — hit, pin, release — allocate nothing: the paged
@@ -33,7 +49,7 @@ type frame struct {
 // pages outside the current working set (experiment E10).
 type BufferPool struct {
 	mu     sync.Mutex
-	cond   *sync.Cond // signaled when a frame becomes unpinned
+	cond   *sync.Cond // signaled when a frame becomes unpinned or protection lapses
 	pager  *Pager
 	cap    int
 	frames map[PageID]*frame
@@ -41,6 +57,10 @@ type BufferPool struct {
 	// victim.
 	head, tail *frame
 	stats      Stats
+	// reserved sums the quotas of open partitions (always ≤ cap-1, so at
+	// least one frame stays up for grabs and no requester can starve).
+	reserved int
+	parts    []*Partition // open partitions, creation order
 }
 
 // NewBufferPool wraps pager with a pool holding up to capacity pages.
@@ -90,24 +110,56 @@ func (bp *BufferPool) lruRemove(fr *frame) {
 	fr.inLRU = false
 }
 
+// evictableBy reports whether requester may evict fr. Caller holds bp.mu;
+// fr is unpinned (it is in the LRU). Shared frames and the requester's own
+// frames are always fair game; frames of another partition only once that
+// partition has spilled past its quota.
+func evictableBy(fr *frame, requester *Partition) bool {
+	o := fr.owner
+	return o == nil || o == requester || o.held > o.quota
+}
+
 // Get returns the payload of page id, pinning it. The returned slice is the
 // pool's frame; callers must not retain it past Release and must not write
 // to it.
 //
-// When every frame is pinned by concurrent readers, Get waits for a
-// Release instead of failing, so a pool smaller than the momentary reader
-// count degrades to serialized paging rather than spurious I/O errors
-// (e.g. a tiny -pool with a wide extraction worker fan-out). The waiting
-// is deadlock-free as long as no caller holds a pin while requesting
-// another page — every reader in this repo (blob, run, leaf) pins exactly
-// one page at a time and releases it before the next Get; keep it that
-// way.
+// When every frame is pinned or reserved by concurrent readers, Get waits
+// for a Release instead of failing, so a pool smaller than the momentary
+// reader count degrades to serialized paging rather than spurious I/O
+// errors (e.g. a tiny -pool with a wide extraction worker fan-out). The
+// waiting is deadlock-free as long as no caller holds a pin while
+// requesting another page — every reader in this repo (blob, run, leaf)
+// pins exactly one page at a time and releases it before the next Get;
+// keep it that way. (Partition reservations cannot starve a waiter either:
+// reserved ≤ cap-1, so once pins drain at least one frame is always
+// evictable by anyone.)
 func (bp *BufferPool) Get(id PageID) ([]byte, error) {
+	return bp.get(id, nil)
+}
+
+// get is Get on behalf of requester (nil = the shared remainder). Hits and
+// loads are attributed to the requester's counters and reservation.
+func (bp *BufferPool) get(id PageID, requester *Partition) ([]byte, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	if requester != nil && requester.closed {
+		// Defensive: a straggler read after Close must not re-attribute
+		// frames to a dead reservation; serve it from the shared remainder.
+		requester = nil
+	}
 	for {
 		if fr, ok := bp.frames[id]; ok {
 			bp.stats.Hits++
+			if requester != nil {
+				requester.stats.Hits++
+				// Re-adopt shared frames into the requester's working set
+				// while it has reservation to spare: a warm page a query
+				// keeps coming back to deserves the query's protection.
+				if fr.owner == nil && requester.held < requester.quota {
+					fr.owner = requester
+					requester.held++
+				}
+			}
 			fr.pins++
 			bp.lruRemove(fr)
 			return fr.data, nil
@@ -115,22 +167,46 @@ func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 		if len(bp.frames) < bp.cap {
 			break
 		}
-		if victim := bp.tail; victim != nil {
+		// Walk victims LRU-first, skipping frames protected by another
+		// partition's reservation.
+		evicted := false
+		for victim := bp.tail; victim != nil; victim = victim.prev {
+			if !evictableBy(victim, requester) {
+				continue
+			}
 			bp.lruRemove(victim)
 			delete(bp.frames, victim.id)
+			if victim.owner != nil {
+				victim.owner.held--
+			}
 			bp.stats.Evictions++
+			if requester != nil {
+				requester.stats.Evictions++
+			}
+			evicted = true
+			break
+		}
+		if evicted {
 			continue
 		}
-		// Every frame is pinned: wait for a Release, then re-check from
-		// scratch (the wanted page may have been loaded meanwhile).
+		// Every frame is pinned or protected: wait for a Release (or a
+		// Partition.Close lifting protection), then re-check from scratch
+		// (the wanted page may have been loaded meanwhile).
 		bp.cond.Wait()
 	}
 	bp.stats.Misses++
+	if requester != nil {
+		requester.stats.Misses++
+	}
 	data, err := bp.pager.ReadPage(id)
 	if err != nil {
 		return nil, err
 	}
 	fr := &frame{id: id, data: data, pins: 1}
+	if requester != nil {
+		fr.owner = requester
+		requester.held++
+	}
 	bp.frames[id] = fr
 	return fr.data, nil
 }
@@ -174,3 +250,117 @@ func (bp *BufferPool) Resident() int {
 
 // Capacity returns the configured frame capacity.
 func (bp *BufferPool) Capacity() int { return bp.cap }
+
+// Reserved returns the frames currently reserved by open partitions.
+func (bp *BufferPool) Reserved() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.reserved
+}
+
+// --- Partitions -----------------------------------------------------------
+
+// Partition is a PagePool view of the pool with its own frame reservation:
+// pages loaded (or re-hit) through the view are owned by it, and while the
+// view owns no more frames than its quota those frames cannot be evicted
+// by other requesters — only by the view itself. Frames beyond the quota
+// spill into the shared remainder's economy and are fair game for anyone.
+//
+// The engine opens one partition per whole-graph query, so a cold
+// PageRank sweeping the entire file can no longer flush a concurrent
+// session's hot extraction working set: the sweep churns its own quota
+// plus the unreserved remainder, and the other query's reserved frames
+// survive. Close returns the reservation and demotes owned frames to
+// shared; a Partition must not be used after Close.
+type Partition struct {
+	bp     *BufferPool
+	quota  int
+	held   int // resident frames currently owned by this partition
+	stats  Stats
+	closed bool
+}
+
+// Partition reserves up to frames frames for a new view. The request is
+// clamped to what is still unreserved (keeping one frame always shared, so
+// reservations can never starve other readers); a fully reserved pool
+// yields a quota-0 view that still tracks per-query stats but enjoys no
+// protection. frames <= 0 also yields a quota-0 view.
+func (bp *BufferPool) Partition(frames int) *Partition {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	avail := bp.cap - 1 - bp.reserved
+	if frames > avail {
+		frames = avail
+	}
+	if frames < 0 {
+		frames = 0
+	}
+	p := &Partition{bp: bp, quota: frames}
+	bp.reserved += frames
+	bp.parts = append(bp.parts, p)
+	return p
+}
+
+// Get pins page id through the partition (PagePool). After Close the view
+// degrades to the shared remainder (checked under the pool lock).
+func (p *Partition) Get(id PageID) ([]byte, error) {
+	return p.bp.get(id, p)
+}
+
+// Release unpins page id (PagePool).
+func (p *Partition) Release(id PageID) { p.bp.Release(id) }
+
+// Close returns the reservation to the pool and demotes the partition's
+// frames to the shared remainder (they stay resident and LRU-ordered, just
+// unprotected). Idempotent.
+func (p *Partition) Close() {
+	bp := p.bp
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	bp.reserved -= p.quota
+	p.quota = 0
+	for _, fr := range bp.frames {
+		if fr.owner == p {
+			fr.owner = nil
+		}
+	}
+	p.held = 0
+	for i, q := range bp.parts {
+		if q == p {
+			bp.parts = append(bp.parts[:i], bp.parts[i+1:]...)
+			break
+		}
+	}
+	// Frames protected by this partition are now evictable; wake waiters.
+	bp.cond.Broadcast()
+}
+
+// PartitionStats snapshots one partition's reservation and counters.
+type PartitionStats struct {
+	Quota int
+	Held  int // resident frames the partition currently owns
+	Stats
+}
+
+// Stats returns a snapshot of the partition's counters.
+func (p *Partition) Stats() PartitionStats {
+	p.bp.mu.Lock()
+	defer p.bp.mu.Unlock()
+	return PartitionStats{Quota: p.quota, Held: p.held, Stats: p.stats}
+}
+
+// Partitions snapshots the open partitions in creation order — the
+// observability hook behind the per-partition /healthz stats.
+func (bp *BufferPool) Partitions() []PartitionStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	out := make([]PartitionStats, len(bp.parts))
+	for i, p := range bp.parts {
+		out[i] = PartitionStats{Quota: p.quota, Held: p.held, Stats: p.stats}
+	}
+	return out
+}

@@ -63,12 +63,27 @@ func WriteRun(p *Pager, data []byte, stride int) (PageID, error) {
 	return first, nil
 }
 
+// RangeError reports an element range that does not lie inside a run —
+// the caller asked for elements the run does not have. It is a typed
+// error (match with errors.As) so callers can distinguish a bad request
+// from an I/O fault: a RangeError means the lo/hi arithmetic upstream is
+// wrong or the geometry it was derived from is corrupt, never that the
+// disk misbehaved.
+type RangeError struct {
+	Lo, Hi int // requested element range [Lo,Hi)
+	Count  int // elements in the run
+}
+
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("storage: run range [%d,%d) out of bounds (count %d)", e.Lo, e.Hi, e.Count)
+}
+
 // RunReader reads element ranges of a fixed-stride page run through a
 // buffer pool. Pages are pinned only while their elements are copied out,
 // so a reader's resident footprint is always bounded by the pool. Safe for
 // concurrent use (the pool serializes page access).
 type RunReader struct {
-	pool    *BufferPool
+	pool    PagePool
 	first   PageID
 	stride  int
 	perPage int
@@ -97,12 +112,28 @@ func NewRunReader(pool *BufferPool, first PageID, stride, count int) (*RunReader
 // Count returns the number of elements in the run.
 func (r *RunReader) Count() int { return r.count }
 
+// WithPool returns a reader over the same run whose page pins go through
+// p instead of the pool the reader was built with — the hook that lets a
+// query read the shared on-disk structure through its own buffer-pool
+// Partition, so its paging is accounted (and bounded) separately. The
+// receiver is unchanged and both readers stay safe for concurrent use.
+func (r *RunReader) WithPool(p PagePool) *RunReader {
+	nr := *r
+	nr.pool = p
+	return &nr
+}
+
 // Read copies elements [lo,hi) into dst, which must hold (hi-lo)*stride
 // bytes. Each underlying page is pinned once for the copy and released
-// before the next page is touched.
+// before the next page is touched. A range outside the run fails with a
+// *RangeError before any page is touched: lo/hi come from callers doing
+// offset arithmetic over persisted (possibly corrupt) geometry, and the
+// explicit gate means a negative lo, an inverted range or an hi past the
+// run can never reach the page math below, where lo<0 would index pages
+// before the run and hi>count would read whatever follows it in the file.
 func (r *RunReader) Read(lo, hi int, dst []byte) error {
 	if lo < 0 || hi < lo || hi > r.count {
-		return fmt.Errorf("storage: run range [%d,%d) out of bounds (count %d)", lo, hi, r.count)
+		return &RangeError{Lo: lo, Hi: hi, Count: r.count}
 	}
 	if len(dst) < (hi-lo)*r.stride {
 		return fmt.Errorf("storage: run dst %d bytes, need %d", len(dst), (hi-lo)*r.stride)

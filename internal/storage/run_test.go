@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"testing"
 )
@@ -85,5 +86,59 @@ func TestRunReaderBounds(t *testing.T) {
 	}
 	if err := rd.Read(0, 10, make([]byte, 4)); err == nil {
 		t.Fatal("short dst accepted")
+	}
+}
+
+// TestRunReadRangeErrorTyped pins the bounds gate of RunReader.Read: each
+// malformed range — negative lo, inverted lo>hi, hi past the run — fails
+// with a *RangeError carrying the offending values, before any page math
+// could turn it into a wild read, and without touching the pool at all.
+func TestRunReadRangeErrorTyped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "re.gmine")
+	p, err := Create(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	first, err := WriteRun(p, make([]byte, 4*50), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewBufferPool(p, 4)
+	rd, err := NewRunReader(pool, first, 4, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 4*200)
+	cases := []struct {
+		name   string
+		lo, hi int
+	}{
+		{"negative lo", -1, 10},
+		{"lo greater than hi", 20, 10},
+		{"hi past count", 0, 51},
+		{"both past count", 60, 70},
+		{"negative range", -5, -2},
+	}
+	for _, tc := range cases {
+		err := rd.Read(tc.lo, tc.hi, dst)
+		if err == nil {
+			t.Fatalf("%s: Read(%d,%d) accepted", tc.name, tc.lo, tc.hi)
+		}
+		var re *RangeError
+		if !errors.As(err, &re) {
+			t.Fatalf("%s: error %T %q is not a *RangeError", tc.name, err, err)
+		}
+		if re.Lo != tc.lo || re.Hi != tc.hi || re.Count != 50 {
+			t.Fatalf("%s: RangeError{%d,%d,%d}, want {%d,%d,50}", tc.name, re.Lo, re.Hi, re.Count, tc.lo, tc.hi)
+		}
+	}
+	if st := pool.Stats(); st.Hits+st.Misses != 0 {
+		t.Fatalf("rejected ranges touched the pool: %+v", st)
+	}
+	// A valid range on the same reader still works (the gate is not
+	// latched state).
+	if err := rd.Read(0, 50, dst[:50*4]); err != nil {
+		t.Fatalf("valid read after rejections: %v", err)
 	}
 }
