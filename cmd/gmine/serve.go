@@ -4,6 +4,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,14 +35,21 @@ func cmdServe(args []string) error {
 	k := fs.Int("k", 5, "hierarchy fanout for preloaded memory sessions")
 	levels := fs.Int("levels", 5, "hierarchy levels for preloaded memory sessions")
 	grace := fs.Duration("grace", 5*time.Second, "shutdown grace period")
+	debugAddr := fs.String("debug-addr", "", "optional side listener serving net/http/pprof and /metrics (e.g. 127.0.0.1:6060); keep it off the public address")
+	logMode := fs.String("log", "text", "request/server log format: text, json or off")
 	fs.Parse(args)
 
+	logger, err := buildLogger(*logMode)
+	if err != nil {
+		return err
+	}
 	srv := server.New(server.Config{
 		Addr:           *addr,
 		CacheEntries:   *cache,
 		RequestTimeout: *timeout,
 		MaxBudget:      *maxBudget,
 		MaxBatch:       *maxBatch,
+		Logger:         logger,
 	})
 
 	var preload *server.CreateSessionRequest
@@ -73,6 +83,17 @@ func cmdServe(args []string) error {
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("gmine serve listening on %s (cache %d entries, timeout %s)\n", *addr, *cache, *timeout)
 
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = newDebugServer(*debugAddr, srv)
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+		fmt.Printf("debug listener on %s (pprof + /metrics)\n", *debugAddr)
+	}
+
 	select {
 	case err := <-errc:
 		return err
@@ -80,6 +101,43 @@ func cmdServe(args []string) error {
 		fmt.Println("\nshutting down...")
 		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(sctx)
+		}
 		return srv.Shutdown(sctx)
 	}
+}
+
+// buildLogger maps the -log flag to the server's slog handler. "off" keeps
+// a logger (server code logs unconditionally) that discards everything.
+func buildLogger(mode string) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: slog.LevelInfo}
+	switch mode {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "off":
+		return slog.New(slog.DiscardHandler), nil
+	}
+	return nil, fmt.Errorf("-log must be text, json or off (got %q)", mode)
+}
+
+// newDebugServer wires net/http/pprof onto a dedicated mux (never the
+// DefaultServeMux, which would leak the profiler onto any handler that
+// falls through to it) alongside the metrics scrape, for a private
+// operator listener:
+//
+//	go tool pprof  http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//	go tool pprof  http://127.0.0.1:6060/debug/pprof/heap
+//	curl           http://127.0.0.1:6060/metrics
+func newDebugServer(addr string, srv *server.Server) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", srv.MetricsHandler())
+	return &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 }

@@ -8,6 +8,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/gtree"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/render"
 )
@@ -169,7 +171,17 @@ func (e *Engine) SetPoolQuota(frames int) { e.poolQuota = frames }
 // the shared CSR; disk-backed ones wrap the paged CSR in a per-query
 // buffer-pool partition (see SetPoolQuota) so the query's paging is
 // bounded and accounted separately from concurrent queries'.
-func (e *Engine) queryAdj() (graph.Adjacency, func(), error) {
+//
+// When tr is non-nil the acquisition is recorded as the "open" stage, and
+// the release function charges the query's pool activity — pins (buffer
+// pool Gets = hits + misses), private hits/misses, evictions, reservation
+// quota/held and the partition's fault-epoch delta — to the trace before
+// closing the partition. This is the engine's "report what this query
+// cost" seam: the counters come from the partition the query pinned
+// through, so they name this query's paging, not the session's.
+func (e *Engine) queryAdj(tr *obs.Trace) (graph.Adjacency, func(), error) {
+	sp := tr.StartStage("open")
+	defer sp.End()
 	if e.g == nil && e.store.HasCSR() && e.poolQuota >= 0 {
 		frames := e.poolQuota
 		if frames == 0 {
@@ -177,10 +189,57 @@ func (e *Engine) queryAdj() (graph.Adjacency, func(), error) {
 				frames = 1
 			}
 		}
-		return e.store.PagedCSRPartition(frames)
+		view, part, err := e.store.PagedCSRPartitionView(frames)
+		if err != nil {
+			return nil, nil, err
+		}
+		if tr == nil {
+			return view, part.Close, nil
+		}
+		faults0 := view.Faults()
+		release := func() {
+			st := part.Stats()
+			tr.Count("pool.pins", int64(st.Hits+st.Misses))
+			tr.Count("pool.hits", int64(st.Hits))
+			tr.Count("pool.misses", int64(st.Misses))
+			tr.Count("pool.evictions", int64(st.Evictions))
+			tr.Count("pool.quota", int64(st.Quota))
+			tr.Count("pool.held", int64(st.Held))
+			tr.Count("pool.faults", int64(view.Faults()-faults0))
+			part.Close()
+		}
+		return view, release, nil
 	}
 	adj, err := e.Adj()
 	return adj, func() {}, err
+}
+
+// memStatsBracket returns a closure charging runtime.ReadMemStats deltas
+// (mallocs, total allocated bytes) to the trace — debug mode only:
+// ReadMemStats stops the world, so it never runs on the production query
+// path.
+func memStatsBracket(tr *obs.Trace) func() {
+	if !tr.Debug() {
+		return func() {}
+	}
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	return func() {
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		tr.Count("mem.mallocs", int64(after.Mallocs-before.Mallocs))
+		tr.Count("mem.allocBytes", int64(after.TotalAlloc-before.TotalAlloc))
+	}
+}
+
+// tagTrace stamps a query error with the trace's request ID, so the
+// message a client receives and the server's structured log line for the
+// same request carry the same identifier (nil-safe on both sides).
+func tagTrace(tr *obs.Trace, err error) error {
+	if tr == nil || err == nil {
+		return err
+	}
+	return obs.TagRequest(err, tr.ID)
 }
 
 // Store returns the backing store of disk-backed engines (nil otherwise).
@@ -426,20 +485,40 @@ func (e *Engine) preloadLabelsIfPaged() error {
 // opened from a v1 file (no CSR section) return ErrNoCSR; any paged read
 // fault during the solve fails it with ErrPagedIO.
 func (e *Engine) Extract(sources []graph.NodeID, opts extract.Options) (*extract.Result, error) {
-	adj, release, err := e.queryAdj()
+	return e.ExtractTraced(nil, sources, opts)
+}
+
+// ExtractTraced is Extract recording per-stage timings ("open" adjacency
+// acquisition, "labels" index preload, "solve" with "rwr"/"expand"/
+// "induce" sub-stages) and pool pin counts on tr, and tagging any error
+// with tr's request ID. A nil tr makes every hook a no-op — Extract
+// simply calls this with nil.
+func (e *Engine) ExtractTraced(tr *obs.Trace, sources []graph.NodeID, opts extract.Options) (res *extract.Result, err error) {
+	defer func() { err = tagTrace(tr, err) }()
+	memDone := memStatsBracket(tr)
+	defer memDone()
+	adj, release, err := e.queryAdj(tr)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	if err := e.preloadLabelsIfPaged(); err != nil {
+	sp := tr.StartStage("labels")
+	err = e.preloadLabelsIfPaged()
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
-	var res *extract.Result
-	if err := e.withFaultCheck(adj, func() error {
+	if tr != nil {
+		opts.StageHook = tr.ObserveStage
+	}
+	sp = tr.StartStage("solve")
+	err = e.withFaultCheck(adj, func() error {
 		var err error
 		res, err = extract.ConnectionSubgraphAdj(adj, e.directed(), e.labelOf(), sources, opts)
 		return err
-	}); err != nil {
+	})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -450,16 +529,27 @@ func (e *Engine) Extract(sources []graph.NodeID, opts extract.Options) (*extract
 // same fault discipline as Extract: any paged read fault during the
 // iteration fails the call instead of returning a silently wrong vector.
 func (e *Engine) PageRank(opts analysis.PageRankOptions) ([]float64, error) {
-	adj, release, err := e.queryAdj()
+	return e.PageRankTraced(nil, opts)
+}
+
+// PageRankTraced is PageRank with per-stage timings and pool pin counts
+// recorded on tr (nil tr = untraced; see ExtractTraced).
+func (e *Engine) PageRankTraced(tr *obs.Trace, opts analysis.PageRankOptions) (ranks []float64, err error) {
+	defer func() { err = tagTrace(tr, err) }()
+	memDone := memStatsBracket(tr)
+	defer memDone()
+	adj, release, err := e.queryAdj(tr)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	var ranks []float64
-	if err := e.withFaultCheck(adj, func() error {
+	sp := tr.StartStage("solve")
+	err = e.withFaultCheck(adj, func() error {
 		ranks = analysis.PageRankAdj(adj, opts)
 		return nil
-	}); err != nil {
+	})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	return ranks, nil
@@ -489,40 +579,61 @@ type GraphAnalysis struct {
 // fails the call with ErrPagedIO instead of returning a silently wrong
 // report.
 func (e *Engine) AnalyzeGraph(opts analysis.PageRankOptions, topK int) (*GraphAnalysis, error) {
+	return e.AnalyzeGraphTraced(nil, opts, topK)
+}
+
+// AnalyzeGraphTraced is AnalyzeGraph with per-stage timings ("open",
+// "labels", "report", "pagerank", "rank") and pool pin counts recorded on
+// tr (nil tr = untraced; see ExtractTraced).
+func (e *Engine) AnalyzeGraphTraced(tr *obs.Trace, opts analysis.PageRankOptions, topK int) (res *GraphAnalysis, err error) {
+	defer func() { err = tagTrace(tr, err) }()
+	memDone := memStatsBracket(tr)
+	defer memDone()
 	if topK <= 0 {
 		topK = 10
 	}
 	// One per-query pool partition covers both sweeps: the structure
 	// report warms the pages PageRank is about to walk, and both charge
 	// the same reservation.
-	adj, release, err := e.queryAdj()
+	adj, release, err := e.queryAdj(tr)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
-	if err := e.preloadLabelsIfPaged(); err != nil {
+	sp := tr.StartStage("labels")
+	err = e.preloadLabelsIfPaged()
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
-	res := &GraphAnalysis{Directed: e.directed()}
-	if err := e.withFaultCheck(adj, func() error {
+	res = &GraphAnalysis{Directed: e.directed()}
+	sp = tr.StartStage("report")
+	err = e.withFaultCheck(adj, func() error {
 		res.AdjacencyReport = analysis.ReportAdj(adj, e.directed())
 		return nil
-	}); err != nil {
+	})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
 	// PageRank brackets the iteration with its own epoch check.
-	if err := e.withFaultCheck(adj, func() error {
+	sp = tr.StartStage("pagerank")
+	err = e.withFaultCheck(adj, func() error {
 		res.PageRank = analysis.PageRankAdj(adj, opts)
 		return nil
-	}); err != nil {
+	})
+	sp.End()
+	if err != nil {
 		return nil, err
 	}
+	sp = tr.StartStage("rank")
 	res.TopRanked = analysis.TopKByRank(res.PageRank, topK)
 	labelOf := e.labelOf()
 	res.TopLabels = make([]string, len(res.TopRanked))
 	for i, u := range res.TopRanked {
 		res.TopLabels[i] = labelOf(u)
 	}
+	sp.End()
 	return res, nil
 }
 

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/dblp"
+	"repro/internal/extract"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// tracedDiskEngine builds the small fixture, persists it and reopens it
+// disk-backed with a modest pool, so queries actually page.
+func tracedDiskEngine(t *testing.T) *Engine {
+	t.Helper()
+	ds := dblp.SmallFixture()
+	mem, err := BuildEngine(ds.Graph, BuildConfig{K: 3, Levels: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.gtree")
+	if err := mem.SaveTree(path, 256); err != nil {
+		t.Fatal(err)
+	}
+	disk, err := OpenEngine(path, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { disk.Close() })
+	return disk
+}
+
+// stageNames flattens a trace's stage spans to their names.
+func stageNames(tr *obs.Trace) map[string]bool {
+	out := map[string]bool{}
+	for _, st := range tr.Stages() {
+		out[st.Name] = true
+	}
+	return out
+}
+
+// TestExtractTracePinsMatchPoolCounters is the acceptance criterion: the
+// pool-pin count a paged extraction reports in its stage trace must equal
+// the buffer pool's own Gets (hits+misses) for that query — asserted
+// against the pool counter delta, not eyeballed. The first extraction
+// warms the label index and weighted-degree cache (both pin through the
+// shared pool, outside the query's partition); from the second query on,
+// every pin goes through the per-query partition, so trace and pool must
+// agree exactly.
+func TestExtractTracePinsMatchPoolCounters(t *testing.T) {
+	eng := tracedDiskEngine(t)
+	sources := []graph.NodeID{1, 5}
+	opts := extract.Options{Budget: 10}
+
+	if _, err := eng.Extract(sources, opts); err != nil { // warm labels + wdeg
+		t.Fatal(err)
+	}
+
+	before := eng.Store().PoolInfo()
+	tr := obs.NewTrace("test-req")
+	if _, err := eng.ExtractTraced(tr, sources, opts); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.Store().PoolInfo()
+
+	poolPins := int64((after.Hits + after.Misses) - (before.Hits + before.Misses))
+	tracePins := tr.CountValue("pool.pins")
+	if tracePins == 0 {
+		t.Fatal("traced paged extraction recorded zero pool pins")
+	}
+	if tracePins != poolPins {
+		t.Errorf("trace pins %d != pool counter delta %d", tracePins, poolPins)
+	}
+	if got := tr.CountValue("pool.hits") + tr.CountValue("pool.misses"); got != tracePins {
+		t.Errorf("pins %d != hits+misses %d", tracePins, got)
+	}
+	if tr.CountValue("pool.faults") != 0 {
+		t.Errorf("clean run reported %d faults", tr.CountValue("pool.faults"))
+	}
+
+	names := stageNames(tr)
+	for _, want := range []string{"open", "labels", "solve", "rwr", "expand", "induce"} {
+		if !names[want] {
+			t.Errorf("trace missing stage %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestAnalyzeGraphTracedStages: the whole-graph analysis path records its
+// stage breakdown and pool accounting too, and a debug trace carries
+// ReadMemStats deltas.
+func TestAnalyzeGraphTracedStages(t *testing.T) {
+	eng := tracedDiskEngine(t)
+	tr := obs.NewTrace("analyze-req")
+	tr.SetDebug(true)
+	if _, err := eng.AnalyzeGraphTraced(tr, analysis.PageRankOptions{}, 5); err != nil {
+		t.Fatal(err)
+	}
+	names := stageNames(tr)
+	for _, want := range []string{"open", "labels", "report", "pagerank", "rank"} {
+		if !names[want] {
+			t.Errorf("trace missing stage %q (have %v)", want, names)
+		}
+	}
+	if tr.CountValue("pool.pins") == 0 {
+		t.Error("paged analysis recorded zero pool pins")
+	}
+	if tr.CountValue("mem.mallocs") == 0 {
+		t.Error("debug trace recorded zero mallocs")
+	}
+}
+
+// TestTracedErrorCarriesRequestID: a failing traced query tags its error
+// with the trace's request ID (the PR 6 correlation satellite), without
+// disturbing errors.Is classification.
+func TestTracedErrorCarriesRequestID(t *testing.T) {
+	eng := tracedDiskEngine(t)
+	tr := obs.NewTrace("fail-req")
+	_, err := eng.ExtractTraced(tr, []graph.NodeID{-1}, extract.Options{})
+	if err == nil {
+		t.Fatal("out-of-range source extracted")
+	}
+	if got := obs.RequestIDOf(err); got != "fail-req" {
+		t.Errorf("error id = %q, want fail-req (err: %v)", got, err)
+	}
+	// Untraced queries stay untagged.
+	_, err = eng.Extract([]graph.NodeID{-1}, extract.Options{})
+	if obs.RequestIDOf(err) != "" {
+		t.Errorf("untraced error carries id: %v", err)
+	}
+	// Classification survives tagging: a v1-style failure path still
+	// matches via errors.Is. (Use ErrPagedIO's wrapping through a fault by
+	// checking the tag is transparent to Is on a known sentinel.)
+	if !errors.Is(obs.TagRequest(ErrPagedIO, "x"), ErrPagedIO) {
+		t.Error("tagging hides the sentinel from errors.Is")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -22,6 +23,11 @@ type Options struct {
 	K int
 	// MaxPathLen caps key-path length in the dynamic program (default 10).
 	MaxPathLen int
+	// StageHook, if set, receives the wall-clock timing of each internal
+	// extraction stage ("rwr" solve, "expand" key-path rounds, "induce"
+	// subgraph materialization) as it completes. Pure observability: it
+	// never changes results, and the server keeps it out of cache keys.
+	StageHook func(stage string, start time.Time, d time.Duration)
 }
 
 // Normalize validates o and fills zero fields with defaults, rejecting
@@ -113,11 +119,19 @@ func ConnectionSubgraphAdj(adj graph.Adjacency, directed bool, labelOf func(grap
 	if opts.Budget < len(sources) {
 		return nil, fmt.Errorf("extract: budget %d below source count %d", opts.Budget, len(sources))
 	}
+	// stage brackets one instrumented phase; a nil hook costs one branch.
+	stage := func(name string, begin time.Time) {
+		if opts.StageHook != nil {
+			opts.StageHook(name, begin, time.Since(begin))
+		}
+	}
+	begin := time.Now()
 	rwr, err := RWRMulti(adj, sources, opts.RWR)
 	if err != nil {
 		return nil, err
 	}
 	goodness := Goodness(rwr, opts.Mode, opts.K)
+	stage("rwr", begin)
 
 	// logGood[v] = log goodness, -Inf for zero; the DP maximizes the sum
 	// of log-goodness over path nodes (product of goodness).
@@ -145,6 +159,7 @@ func ConnectionSubgraphAdj(adj graph.Adjacency, directed bool, labelOf func(grap
 	// Destinations come from the pruned top-k queue: one O(n log budget)
 	// selection replaces a full O(n) rescan per destination, yielding the
 	// same sequence the naive argmax scan would (see destQueue).
+	begin = time.Now()
 	dests := newDestQueue(goodness, opts.Budget)
 	iterations := 0
 	for len(chosen) < opts.Budget {
@@ -172,8 +187,11 @@ func ConnectionSubgraphAdj(adj graph.Adjacency, directed bool, labelOf func(grap
 			add(pd)
 		}
 	}
+	stage("expand", begin)
 
+	begin = time.Now()
 	sub, mapping := inducedFromAdj(adj, directed, labelOf, chosen)
+	stage("induce", begin)
 	res := &Result{Subgraph: sub, Nodes: mapping, Iterations: iterations}
 	res.Goodness = make([]float64, len(mapping))
 	for i, u := range mapping {

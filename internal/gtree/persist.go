@@ -586,12 +586,25 @@ func (s *Store) PagedCSR() (*PagedCSR, error) {
 // frames to the shared remainder (they stay resident, just unprotected).
 // Returns ErrNoCSR for v1 files.
 func (s *Store) PagedCSRPartition(frames int) (*PagedCSR, func(), error) {
+	view, part, err := s.PagedCSRPartitionView(frames)
+	if err != nil {
+		return nil, nil, err
+	}
+	return view, part.Close, nil
+}
+
+// PagedCSRPartitionView is PagedCSRPartition exposing the partition
+// handle itself instead of just its Close: callers that account a query's
+// cost (core.Engine's stage traces) read the partition's pin/eviction
+// counters right before closing it. The same contract applies — Close the
+// partition when the query finishes.
+func (s *Store) PagedCSRPartitionView(frames int) (*PagedCSR, *storage.Partition, error) {
 	base, err := s.PagedCSR()
 	if err != nil {
 		return nil, nil, err
 	}
 	part := s.pool.Partition(frames)
-	return base.withPool(part), part.Close, nil
+	return base.withPool(part), part, nil
 }
 
 // PreloadLabels loads the label index and builds its node-indexed view,

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// reqSeq backs the fallback request-ID generator if crypto/rand ever
+// fails (it realistically cannot on the supported platforms).
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a 16-hex-char random request ID — the value the
+// server puts in X-Gmine-Trace-Id, the structured request log, and (via
+// TagRequest) the error chain of a failed query, so one grep correlates
+// all three.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("seq-%016x", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RequestError tags an error with the request ID of the query that hit
+// it. It wraps (errors.Is/As see through it), and its message carries the
+// ID — so the JSON error body a client receives and the server's log line
+// name the same request.
+type RequestError struct {
+	ID  string
+	Err error
+}
+
+// Error appends the request ID to the underlying message.
+func (e *RequestError) Error() string { return fmt.Sprintf("%s [req %s]", e.Err, e.ID) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// TagRequest wraps err with the request ID, unless err is nil or already
+// tagged (the innermost tag — closest to the fault — wins).
+func TagRequest(err error, id string) error {
+	if err == nil || id == "" {
+		return err
+	}
+	var re *RequestError
+	if errors.As(err, &re) {
+		return err
+	}
+	return &RequestError{ID: id, Err: err}
+}
+
+// RequestIDOf extracts the request ID from an error chain ("" when
+// untagged).
+func RequestIDOf(err error) string {
+	var re *RequestError
+	if errors.As(err, &re) {
+		return re.ID
+	}
+	return ""
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestTraceNilSafety: every method is a no-op on a nil trace, so
+// instrumented paths never branch on "is tracing on".
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartStage("solve")
+	sp.End()
+	tr.ObserveStage("x", time.Now(), time.Millisecond)
+	tr.Count("pins", 3)
+	tr.Note("cache", "hit")
+	tr.SetDebug(true)
+	if tr.Debug() {
+		t.Error("nil trace reports debug")
+	}
+	if tr.Finish() != 0 || tr.CountValue("pins") != 0 {
+		t.Error("nil trace returned non-zero state")
+	}
+	if got := tr.Snapshot(); got.ID != "" || len(got.Stages) != 0 {
+		t.Errorf("nil snapshot = %+v", got)
+	}
+}
+
+// TestTraceStagesAndCounts: spans record offsets/durations, counts
+// accumulate by name, notes overwrite, snapshot is stable after Finish.
+func TestTraceStagesAndCounts(t *testing.T) {
+	tr := NewTrace("req-1")
+	sp := tr.StartStage("open")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	sp = tr.StartStage("solve")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	tr.Count("pool.pins", 5)
+	tr.Count("pool.pins", 7)
+	tr.Note("cache", "miss")
+	tr.Note("cache", "hit")
+	total := tr.Finish()
+	if total <= 0 {
+		t.Fatalf("total = %v", total)
+	}
+	if again := tr.Finish(); again != total {
+		t.Errorf("Finish not idempotent: %v then %v", total, again)
+	}
+
+	d := tr.Snapshot()
+	if d.ID != "req-1" || d.TotalMicros <= 0 {
+		t.Errorf("snapshot header = %+v", d)
+	}
+	if len(d.Stages) != 2 || d.Stages[0].Name != "open" || d.Stages[1].Name != "solve" {
+		t.Fatalf("stages = %+v", d.Stages)
+	}
+	if d.Stages[1].StartMicros < d.Stages[0].StartMicros+d.Stages[0].DurMicros {
+		t.Errorf("solve started before open ended: %+v", d.Stages)
+	}
+	if tr.CountValue("pool.pins") != 12 {
+		t.Errorf("pins = %d, want 12", tr.CountValue("pool.pins"))
+	}
+	if len(d.Notes) != 1 || d.Notes[0].Value != "hit" {
+		t.Errorf("notes = %+v", d.Notes)
+	}
+
+	// The snapshot must marshal to the documented sidecar shape.
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round map[string]any
+	if err := json.Unmarshal(b, &round); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"id", "totalMicros", "stages", "counts", "notes"} {
+		if _, ok := round[k]; !ok {
+			t.Errorf("sidecar JSON missing %q: %s", k, b)
+		}
+	}
+}
+
+// TestRequestIDUniqueness: IDs are unique across a burst (the middleware
+// test asserts the same over HTTP).
+func TestRequestIDUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("id %q not 16 hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestTagRequest: wrapping carries the ID through errors.Is/As, surfaces
+// it in the message, and never double-tags.
+func TestTagRequest(t *testing.T) {
+	base := errors.New("page 7 checksum mismatch")
+	wrapped := fmt.Errorf("solve failed: %w", base)
+	tagged := TagRequest(wrapped, "abc123")
+	if !errors.Is(tagged, base) {
+		t.Error("tag broke errors.Is")
+	}
+	if RequestIDOf(tagged) != "abc123" {
+		t.Errorf("RequestIDOf = %q", RequestIDOf(tagged))
+	}
+	if want := "solve failed: page 7 checksum mismatch [req abc123]"; tagged.Error() != want {
+		t.Errorf("message = %q, want %q", tagged.Error(), want)
+	}
+	// Re-tagging keeps the innermost (closest to the fault) ID.
+	retagged := TagRequest(fmt.Errorf("outer: %w", tagged), "other")
+	if RequestIDOf(retagged) != "abc123" {
+		t.Errorf("re-tag replaced id: %q", RequestIDOf(retagged))
+	}
+	if TagRequest(nil, "x") != nil {
+		t.Error("tagging nil produced an error")
+	}
+}

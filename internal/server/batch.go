@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // BatchExtractRequest is the body of POST /sessions/{id}/extract/batch: a
@@ -37,6 +39,10 @@ type BatchExtractItem struct {
 	// already in flight — including a duplicate item in the same batch —
 	// and this item shares its result).
 	Cache string `json:"cache,omitempty"`
+	// TraceID identifies the item's stage trace ("<requestID>.<index>"):
+	// per-item engine errors carry it, and the item's stage timings land in
+	// the /metrics histograms under it.
+	TraceID string `json:"traceId,omitempty"`
 	// Extraction is the extractResponse JSON for successful items.
 	Extraction json.RawMessage `json:"extraction,omitempty"`
 	// Error describes a failed item.
@@ -83,6 +89,15 @@ func (s *Server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 		workers = n
 	}
 
+	// Each item gets a child trace derived from the request ID, so one
+	// batch's items correlate in logs and metrics yet keep distinct stage
+	// records (the parent request trace stays stage-free; the middleware
+	// would otherwise double-count item stages at flush time).
+	parentID := ""
+	if tr := traceFrom(r.Context()); tr != nil {
+		parentID = tr.ID
+	}
+
 	resp := BatchExtractResponse{
 		Session: sess.name,
 		Count:   n,
@@ -95,7 +110,7 @@ func (s *Server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				resp.Results[idx] = s.safeBatchItem(sess, req.Requests[idx], idx, workers)
+				resp.Results[idx] = s.safeBatchItem(sess, req.Requests[idx], idx, workers, parentID)
 			}
 		}()
 	}
@@ -108,8 +123,10 @@ func (s *Server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range resp.Results {
 		if resp.Results[i].Error == "" {
 			resp.Succeeded++
+			s.metrics.batchOK.Inc()
 		} else {
 			resp.Failed++
+			s.metrics.batchErr.Inc()
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -118,7 +135,7 @@ func (s *Server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 // safeBatchItem contains a panicking build to its own item. Batch items
 // run on pool goroutines, outside net/http's per-request recovery — an
 // unrecovered panic there would kill the whole server, not one request.
-func (s *Server) safeBatchItem(sess *Session, req ExtractRequest, idx, workers int) (item BatchExtractItem) {
+func (s *Server) safeBatchItem(sess *Session, req ExtractRequest, idx, workers int, parentID string) (item BatchExtractItem) {
 	defer func() {
 		if r := recover(); r != nil {
 			item = BatchExtractItem{
@@ -128,14 +145,20 @@ func (s *Server) safeBatchItem(sess *Session, req ExtractRequest, idx, workers i
 			}
 		}
 	}()
-	return s.runBatchItem(sess, req, idx, workers)
+	return s.runBatchItem(sess, req, idx, workers, parentID)
 }
 
 // runBatchItem plans and executes one batch item through the shared result
 // cache and singleflight, so items identical to cached or in-flight queries
 // (even duplicates within the same batch) cost nothing extra.
-func (s *Server) runBatchItem(sess *Session, req ExtractRequest, idx, workers int) BatchExtractItem {
+func (s *Server) runBatchItem(sess *Session, req ExtractRequest, idx, workers int, parentID string) BatchExtractItem {
 	item := BatchExtractItem{Index: idx}
+	var tr *obs.Trace
+	if parentID != "" {
+		tr = obs.NewTrace(fmt.Sprintf("%s.%d", parentID, idx))
+		item.TraceID = tr.ID
+		defer s.metrics.observeTrace(tr)
+	}
 	if req.Format != "" && req.Format != "json" {
 		item.Status = http.StatusBadRequest
 		item.Error = fmt.Sprintf("batch items must use format \"json\" (got %q)", req.Format)
@@ -159,8 +182,9 @@ func (s *Server) runBatchItem(sess *Session, req ExtractRequest, idx, workers in
 		return item
 	}
 	body, _, state, errStatus, err := s.cachedResult(p.key, func() ([]byte, string, int, error) {
-		return s.buildExtract(sess, p)
+		return s.buildExtract(sess, p, tr)
 	})
+	tr.Note("cache", state)
 	if err != nil {
 		item.Status, item.Error = errStatus, err.Error()
 		return item

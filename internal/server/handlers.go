@@ -18,6 +18,7 @@ import (
 	"repro/internal/extract"
 	"repro/internal/graph"
 	"repro/internal/gtree"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/render"
 )
@@ -95,16 +96,31 @@ func (s *Server) cachedResult(key string,
 }
 
 // serveCached writes a cachedResult to the response, reporting the cache
-// state in the X-Gmine-Cache header (aggregated on /healthz).
-func (s *Server) serveCached(w http.ResponseWriter, key string,
+// state in the X-Gmine-Cache header (aggregated on /healthz) and on the
+// request trace. With ?trace=1 on a JSON route the response becomes a
+// {"trace", "result"} envelope: the cache stores the bare result body
+// (shared by traced and untraced callers alike), and the per-request stage
+// breakdown wraps it on the way out. A cache hit legitimately shows no
+// engine stages — the trace's cache note says why.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	build func() (body []byte, ctyp string, errStatus int, err error)) {
 	body, ctyp, state, errStatus, err := s.cachedResult(key, build)
+	tr := traceFrom(r.Context())
+	tr.Note("cache", state)
 	if err != nil {
 		writeError(w, errStatus, "%s", err)
 		return
 	}
 	w.Header().Set("X-Gmine-Cache", state)
 	w.Header().Set("Content-Type", ctyp)
+	if tr != nil && ctyp == jsonContentType && r.URL.Query().Get("trace") == "1" {
+		envelope := struct {
+			Trace  obs.TraceData   `json:"trace"`
+			Result json.RawMessage `json:"result"`
+		}{tr.Snapshot(), json.RawMessage(body)}
+		_, _ = w.Write(marshalJSON(envelope))
+		return
+	}
 	_, _ = w.Write(body)
 }
 
@@ -136,6 +152,7 @@ type healthResponse struct {
 	Status        string     `json:"status"`
 	UptimeSeconds float64    `json:"uptimeSeconds"`
 	Goroutines    int        `json:"goroutines"`
+	InFlight      int64      `json:"inFlight"`
 	Sessions      []string   `json:"sessions"`
 	Cache         CacheStats `json:"cache"`
 	// Pools reports per-session buffer-pool counters for disk-backed
@@ -151,14 +168,17 @@ type healthResponse struct {
 // operator can see which query holds how many protected frames and how
 // its private hit rate is doing.
 type PoolInfo struct {
-	Hits       uint64          `json:"hits"`
-	Misses     uint64          `json:"misses"`
-	Evictions  uint64          `json:"evictions"`
-	Capacity   int             `json:"capacity"`
-	Resident   int             `json:"resident"`
-	Reserved   int             `json:"reserved"`
-	FilePages  uint32          `json:"filePages"`
-	HasCSR     bool            `json:"hasCSR"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Capacity  int    `json:"capacity"`
+	Resident  int    `json:"resident"`
+	Reserved  int    `json:"reserved"`
+	FilePages uint32 `json:"filePages"`
+	HasCSR    bool   `json:"hasCSR"`
+	// Stale marks a last-known snapshot served while the session was
+	// write-locked (building or deleting); fresh reads omit it.
+	Stale      bool            `json:"stale,omitempty"`
 	Partitions []PartitionInfo `json:"partitions,omitempty"`
 }
 
@@ -194,32 +214,21 @@ func poolInfoFrom(st *gtree.Store) *PoolInfo {
 	return out
 }
 
-// poolInfo snapshots a session's buffer pool, or nil for memory sessions.
-// It never blocks: a session whose build is still holding the write lock
-// is skipped, so /healthz stays a liveness probe even while a large
-// session builds.
-func poolInfo(sess *Session) *PoolInfo {
-	var out *PoolInfo
-	_ = sess.tryRead(func(eng *core.Engine) error {
-		if st := eng.Store(); st != nil {
-			out = poolInfoFrom(st)
-		}
-		return nil
-	})
-	return out
-}
-
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := healthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),
+		InFlight:      s.metrics.inFlight.Value(),
 		Sessions:      s.reg.names(),
 		Cache:         s.cache.snapshot(),
 	}
+	// Pool rows come from the shared non-blocking snapshot path: a session
+	// mid-build contributes its last-known counters marked "stale" instead
+	// of vanishing from the probe.
 	for _, name := range resp.Sessions {
 		if sess, ok := s.reg.get(name); ok {
-			if pi := poolInfo(sess); pi != nil {
+			if pi := sess.poolSnapshot(false); pi != nil {
 				if resp.Pools == nil {
 					resp.Pools = make(map[string]PoolInfo)
 				}
@@ -577,7 +586,7 @@ func (s *Server) handleScene(w http.ResponseWriter, r *http.Request) {
 		keySize = 0 // size only shapes the SVG
 	}
 	key := sess.cacheKey(fmt.Sprintf("scene|f=%d|g=%t|fmt=%s|sz=%g", focus, grand, format, keySize))
-	s.serveCached(w, key, func() ([]byte, string, int, error) {
+	s.serveCached(w, r, key, func() ([]byte, string, int, error) {
 		var body []byte
 		var ctyp string
 		err := sess.withRead(func(eng *core.Engine) error {
@@ -817,12 +826,14 @@ func (s *Server) planExtract(sess *Session, req ExtractRequest) (extractPlan, in
 
 // buildExtract executes a plan against the session's engine, which runs the
 // solve on the engine's cached CSR (built once per session, shared by every
-// extraction), and renders the response body.
-func (s *Server) buildExtract(sess *Session, p extractPlan) ([]byte, string, int, error) {
+// extraction), and renders the response body. The trace (nil when the
+// caller holds none, or when a different request's build was coalesced
+// into) collects the engine's stage breakdown and pool pins.
+func (s *Server) buildExtract(sess *Session, p extractPlan, tr *obs.Trace) ([]byte, string, int, error) {
 	var body []byte
 	var ctyp string
 	err := sess.withRead(func(eng *core.Engine) error {
-		res, err := eng.Extract(p.sources, p.opts)
+		res, err := eng.ExtractTraced(tr, p.sources, p.opts)
 		if err != nil {
 			return err
 		}
@@ -856,8 +867,9 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%s", err)
 		return
 	}
-	s.serveCached(w, p.key, func() ([]byte, string, int, error) {
-		return s.buildExtract(sess, p)
+	tr := traceFrom(r.Context())
+	s.serveCached(w, r, p.key, func() ([]byte, string, int, error) {
+		return s.buildExtract(sess, p, tr)
 	})
 }
 
@@ -942,7 +954,8 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 		seed = n
 	}
 	key := sess.cacheKey(fmt.Sprintf("analysis|c=%d|seed=%d", community, seed))
-	s.serveCached(w, key, func() ([]byte, string, int, error) {
+	tr := traceFrom(r.Context())
+	s.serveCached(w, r, key, func() ([]byte, string, int, error) {
 		var body []byte
 		err := sess.withRead(func(eng *core.Engine) error {
 			t := eng.Tree()
@@ -956,11 +969,15 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 					}
 				}
 			}
+			sp := tr.StartStage("subgraph")
 			sub, members, err := eng.LeafSubgraph(id)
+			sp.End()
 			if err != nil {
 				return err
 			}
+			sp = tr.StartStage("report")
 			rep := analysis.Report(sub, 0, seed)
+			sp.End()
 			resp := analysisResponse{
 				Session:           sess.name,
 				Community:         id,
@@ -1030,10 +1047,11 @@ func (s *Server) handleGraphAnalysis(w http.ResponseWriter, r *http.Request) {
 		topK = n
 	}
 	key := sess.cacheKey(fmt.Sprintf("analysis-graph|k=%d", topK))
-	s.serveCached(w, key, func() ([]byte, string, int, error) {
+	tr := traceFrom(r.Context())
+	s.serveCached(w, r, key, func() ([]byte, string, int, error) {
 		var body []byte
 		err := sess.withRead(func(eng *core.Engine) error {
-			rep, err := eng.AnalyzeGraph(analysis.PageRankOptions{}, topK)
+			rep, err := eng.AnalyzeGraphTraced(tr, analysis.PageRankOptions{}, topK)
 			if err != nil {
 				return err
 			}

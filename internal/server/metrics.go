@@ -1,0 +1,172 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// serverMetrics wires the server's observable state into one obs.Registry
+// scraped at GET /metrics. Two kinds of series live here:
+//
+//   - Event metrics the request path writes directly (HTTP status/latency
+//     by route, in-flight gauge, panics, per-stage query timings flushed
+//     from completed traces). These touch only the middleware, never the
+//     solver or pool hot paths.
+//   - Scrape-time collectors over counters the engine already keeps
+//     (result cache, buffer pools, sessions). Reading them at scrape time
+//     keeps the instrumented hot paths at zero extra work — and /healthz
+//     reports the same underlying numbers, making it a thin view over the
+//     registry rather than a second bookkeeping system.
+type serverMetrics struct {
+	reg      *obs.Registry
+	requests *obs.CounterVec   // gmine_http_requests_total{route,code}
+	latency  *obs.HistogramVec // gmine_http_request_seconds{route}
+	inFlight *obs.Gauge        // gmine_http_requests_in_flight
+	panics   *obs.Counter      // gmine_http_panics_total
+	stage    *obs.HistogramVec // gmine_query_stage_seconds{stage}
+	pins     *obs.Histogram    // gmine_query_pool_pins
+	faults   *obs.Counter      // gmine_query_pool_faults_total
+	batchOK  *obs.Counter      // gmine_batch_items_total{outcome}
+	batchErr *obs.Counter
+}
+
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+		requests: reg.CounterVec("gmine_http_requests_total",
+			"HTTP requests served, by matched route and status code.",
+			"route", "code"),
+		latency: reg.HistogramVec("gmine_http_request_seconds",
+			"End-to-end request latency by matched route.",
+			obs.DefBuckets, "route"),
+		inFlight: reg.Gauge("gmine_http_requests_in_flight",
+			"Requests currently being served."),
+		panics: reg.Counter("gmine_http_panics_total",
+			"Handler panics contained by the middleware (each served a 500)."),
+		stage: reg.HistogramVec("gmine_query_stage_seconds",
+			"Per-stage query timings (open, labels, solve, rwr, expand, induce, ...).",
+			obs.DefBuckets, "stage"),
+		pins: reg.Histogram("gmine_query_pool_pins",
+			"Buffer-pool page pins per traced query (hits+misses through its partition).",
+			obs.PinBuckets),
+		faults: reg.Counter("gmine_query_pool_faults_total",
+			"Paged-read fault epochs observed by traced queries."),
+	}
+	batch := reg.CounterVec("gmine_batch_items_total",
+		"Batch extraction items processed, by outcome.", "outcome")
+	m.batchOK, m.batchErr = batch.With("ok"), batch.With("error")
+
+	reg.GaugeFunc("gmine_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	reg.GaugeFunc("gmine_sessions",
+		"Live sessions in the registry.",
+		func() float64 { return float64(len(s.reg.names())) })
+
+	// Result cache: the cache keeps its own counters; read them at scrape
+	// time instead of double-counting on the request path.
+	reg.Collect("gmine_result_cache_ops_total",
+		"Result-cache outcomes (hit, miss, coalesced, eviction).",
+		"counter", []string{"op"},
+		func(emit func(v float64, labelVals ...string)) {
+			cs := s.cache.snapshot()
+			emit(float64(cs.Hits), "hit")
+			emit(float64(cs.Misses), "miss")
+			emit(float64(cs.Coalesced), "coalesced")
+			emit(float64(cs.Evictions), "eviction")
+		})
+	reg.Collect("gmine_result_cache_entries",
+		"Resident result-cache entries (capacity in gmine_result_cache_capacity).",
+		"gauge", nil,
+		func(emit func(v float64, labelVals ...string)) {
+			emit(float64(s.cache.snapshot().Entries))
+		})
+	reg.Collect("gmine_result_cache_capacity",
+		"Result-cache entry capacity.",
+		"gauge", nil,
+		func(emit func(v float64, labelVals ...string)) {
+			emit(float64(s.cache.snapshot().Capacity))
+		})
+
+	// Buffer pools of disk-backed sessions. eachPool uses the non-blocking
+	// snapshot path, so a scrape racing a session build reports the last
+	// known values instead of stalling the scrape (same contract as
+	// /healthz "stale").
+	eachPool := func(emit func(v float64, labelVals ...string), pick func(pi *PoolInfo) float64) {
+		for _, name := range s.reg.names() {
+			sess, ok := s.reg.get(name)
+			if !ok {
+				continue
+			}
+			if pi := sess.poolSnapshot(false); pi != nil {
+				emit(pick(pi), name)
+			}
+		}
+	}
+	poolLabels := []string{"session"}
+	reg.Collect("gmine_pool_hits_total", "Buffer-pool page hits by session.",
+		"counter", poolLabels, func(emit func(v float64, labelVals ...string)) {
+			eachPool(emit, func(pi *PoolInfo) float64 { return float64(pi.Hits) })
+		})
+	reg.Collect("gmine_pool_misses_total", "Buffer-pool page misses (disk reads) by session.",
+		"counter", poolLabels, func(emit func(v float64, labelVals ...string)) {
+			eachPool(emit, func(pi *PoolInfo) float64 { return float64(pi.Misses) })
+		})
+	reg.Collect("gmine_pool_evictions_total", "Buffer-pool evictions by session.",
+		"counter", poolLabels, func(emit func(v float64, labelVals ...string)) {
+			eachPool(emit, func(pi *PoolInfo) float64 { return float64(pi.Evictions) })
+		})
+	reg.Collect("gmine_pool_resident_frames", "Resident buffer-pool frames by session.",
+		"gauge", poolLabels, func(emit func(v float64, labelVals ...string)) {
+			eachPool(emit, func(pi *PoolInfo) float64 { return float64(pi.Resident) })
+		})
+	reg.Collect("gmine_pool_reserved_frames",
+		"Frames reserved by in-flight query partitions, by session.",
+		"gauge", poolLabels, func(emit func(v float64, labelVals ...string)) {
+			eachPool(emit, func(pi *PoolInfo) float64 { return float64(pi.Reserved) })
+		})
+	reg.Collect("gmine_pool_capacity_frames", "Buffer-pool frame capacity by session.",
+		"gauge", poolLabels, func(emit func(v float64, labelVals ...string)) {
+			eachPool(emit, func(pi *PoolInfo) float64 { return float64(pi.Capacity) })
+		})
+	reg.Collect("gmine_pool_partitions",
+		"Per-query buffer-pool partitions currently in flight, by session.",
+		"gauge", poolLabels, func(emit func(v float64, labelVals ...string)) {
+			eachPool(emit, func(pi *PoolInfo) float64 { return float64(len(pi.Partitions)) })
+		})
+	return m
+}
+
+// observeTrace flushes one completed query trace into the registry: stage
+// durations into the per-stage histograms, pool pins into the pin
+// distribution, fault epochs into the fault counter. Requests that never
+// reached the engine (404s, cache hits) carry no stages and cost nothing.
+func (m *serverMetrics) observeTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	for _, st := range tr.Stages() {
+		m.stage.With(st.Name).Observe(float64(st.DurMicros) / 1e6)
+	}
+	if pins := tr.CountValue("pool.pins"); pins > 0 {
+		m.pins.Observe(float64(pins))
+	}
+	if f := tr.CountValue("pool.faults"); f > 0 {
+		m.faults.Add(uint64(f))
+	}
+}
+
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metricsContentType)
+	_ = s.metrics.reg.WritePrometheus(w)
+}
+
+// MetricsHandler exposes the Prometheus scrape endpoint for mounting on a
+// separate listener (the CLI's -debug-addr side server serves it next to
+// pprof).
+func (s *Server) MetricsHandler() http.Handler { return http.HandlerFunc(s.handleMetrics) }

@@ -11,6 +11,7 @@
 // Endpoints:
 //
 //	GET    /healthz                      liveness + session list + cache stats
+//	GET    /metrics                      Prometheus text scrape of the obs registry
 //	POST   /sessions                     build or open a session
 //	GET    /sessions                     list sessions
 //	GET    /sessions/{id}                session info
@@ -26,8 +27,10 @@ package server
 
 import (
 	"context"
+	"log/slog"
 	"net"
 	"net/http"
+	"os"
 	"time"
 )
 
@@ -46,6 +49,11 @@ type Config struct {
 	// MaxBatch caps the number of extraction requests one batch call may
 	// carry (default 64).
 	MaxBatch int
+	// Logger receives one structured line per request plus server events.
+	// Nil defaults to text on stderr at Warn — quiet by default so embedding
+	// the server (or running it under httptest) doesn't spam per-request
+	// Info lines; the CLI installs an Info-level logger explicitly.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +83,8 @@ type Server struct {
 	flight  flightGroup
 	started time.Time
 	httpSrv *http.Server
+	log     *slog.Logger
+	metrics *serverMetrics
 }
 
 // New returns a server ready to Handle or ListenAndServe.
@@ -86,6 +96,12 @@ func New(cfg Config) *Server {
 		cache:   newResultCache(cfg.CacheEntries),
 		started: time.Now(),
 	}
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(os.Stderr,
+			&slog.HandlerOptions{Level: slog.LevelWarn}))
+	}
+	s.metrics = newServerMetrics(s)
 	// Built here, not in Serve, so a Shutdown racing a just-started Serve
 	// goroutine still sees the server and drains it.
 	s.httpSrv = &http.Server{
@@ -99,10 +115,14 @@ func New(cfg Config) *Server {
 // applied to query routes (exported for httptest and embedding). Session
 // creation and deletion stay outside the timeout: a large build may
 // legitimately exceed the query budget, and timing it out mid-build would
-// tell the client "failed" while the session still commits.
+// tell the client "failed" while the session still commits. The instrument
+// middleware (request IDs, trace, metrics, request log) sits INSIDE the
+// timeout handler — see its comment for why route patterns force that
+// nesting — and wraps the untimed routes individually.
 func (s *Server) Handler() http.Handler {
 	queries := http.NewServeMux()
 	queries.HandleFunc("GET /healthz", s.handleHealthz)
+	queries.HandleFunc("GET /metrics", s.handleMetrics)
 	queries.HandleFunc("GET /sessions", s.handleListSessions)
 	queries.HandleFunc("GET /sessions/{id}", s.handleSessionInfo)
 	queries.HandleFunc("GET /sessions/{id}/tree", s.handleTree)
@@ -112,12 +132,12 @@ func (s *Server) Handler() http.Handler {
 	queries.HandleFunc("GET /sessions/{id}/analysis", s.handleAnalysis)
 	queries.HandleFunc("GET /sessions/{id}/analysis/graph", s.handleGraphAnalysis)
 	queries.HandleFunc("GET /sessions/{id}/labels", s.handleLabels)
-	timed := http.TimeoutHandler(queries, s.cfg.RequestTimeout,
+	timed := http.TimeoutHandler(s.instrument(queries), s.cfg.RequestTimeout,
 		`{"error":"request timed out"}`)
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sessions", s.handleCreateSession)
-	mux.HandleFunc("DELETE /sessions/{id}", s.handleDeleteSession)
+	mux.Handle("POST /sessions", s.instrument(http.HandlerFunc(s.handleCreateSession)))
+	mux.Handle("DELETE /sessions/{id}", s.instrument(http.HandlerFunc(s.handleDeleteSession)))
 	mux.Handle("/", timed)
 	return mux
 }

@@ -31,6 +31,12 @@ type Session struct {
 	diskBacked  bool
 	createdAt   time.Time
 	buildMillis int64
+
+	// lastPool caches the most recent buffer-pool snapshot so liveness
+	// surfaces (/healthz, /metrics) can report last-known values marked
+	// stale when the session is write-locked, instead of dropping the row.
+	poolMu   sync.Mutex
+	lastPool *PoolInfo
 }
 
 // errSessionGone is returned by withRead when a session was reserved but
@@ -59,6 +65,43 @@ func (s *Session) tryRead(fn func(eng *core.Engine) error) error {
 		return errSessionGone
 	}
 	return fn(s.eng)
+}
+
+// poolSnapshot returns the session's buffer-pool state in wire form, or
+// nil for memory-backed sessions. It is the single snapshot path shared by
+// /healthz, /metrics and session info, so the stat structs cannot drift
+// apart again. With block=false it never waits on the session lock: if the
+// session is write-locked (building, deleting), it returns the last
+// successful snapshot marked Stale=true — previously /healthz silently
+// dropped the row, making a session under load indistinguishable from a
+// memory one.
+func (s *Session) poolSnapshot(block bool) *PoolInfo {
+	read := s.tryRead
+	if block {
+		read = s.withRead
+	}
+	var fresh *PoolInfo
+	err := read(func(eng *core.Engine) error {
+		if st := eng.Store(); st != nil {
+			fresh = poolInfoFrom(st)
+		}
+		return nil
+	})
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if err == nil {
+		if fresh == nil {
+			return nil // memory-backed: no pool, nothing to go stale
+		}
+		s.lastPool = fresh
+		return fresh
+	}
+	if s.lastPool == nil {
+		return nil
+	}
+	cp := *s.lastPool
+	cp.Stale = true
+	return &cp
 }
 
 // SessionInfo is the wire representation of a session.
@@ -96,11 +139,11 @@ func (s *Session) info() (SessionInfo, error) {
 			CreatedAt:   s.createdAt,
 			BuildMillis: s.buildMillis,
 		}
-		if store := eng.Store(); store != nil {
-			out.Pool = poolInfoFrom(store)
-		}
 		return nil
 	})
+	if err == nil {
+		out.Pool = s.poolSnapshot(true)
+	}
 	return out, err
 }
 
