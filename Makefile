@@ -6,7 +6,7 @@ GO ?= go
 BENCHTIME ?= 1s
 BENCH_JSON_PATTERN ?= 'BenchmarkExtractMemoryVsPaged|BenchmarkExtractPagedViaNeighbors|BenchmarkPageRankMemoryVsPaged|BenchmarkRWRMultiFanout|BenchmarkRWRPushVsPower|BenchmarkRWRSetSweepVsNeighbors|BenchmarkPageRankSweepVsNeighbors'
 
-.PHONY: all build vet test race check bench bench-json fmt
+.PHONY: all build vet lint test race check bench bench-json fmt fuzz-smoke
 
 all: check
 
@@ -16,6 +16,11 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Contract multichecker: the repo's own go/analysis suite (sweepalias,
+# pinpair, sentinelerr, hotalloc). See cmd/gminevet and internal/lint.
+lint:
+	$(GO) run ./cmd/gminevet ./...
+
 # Tier-1 gate.
 test: build
 	$(GO) test ./...
@@ -23,7 +28,14 @@ test: build
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+check: build vet lint race
+
+# Short randomized shake of the decoder/sweep entry points that parse
+# attacker-shaped bytes (CI runs the same three).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSweepEdges -fuzztime 10s ./internal/gtree
+	$(GO) test -run '^$$' -fuzz FuzzDecodeLeaf -fuzztime 10s ./internal/gtree
+	$(GO) test -run '^$$' -fuzz FuzzOpenCSRSection -fuzztime 10s ./internal/gtree
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx ./...

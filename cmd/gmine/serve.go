@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -87,7 +88,7 @@ func cmdServe(args []string) error {
 	if *debugAddr != "" {
 		debugSrv = newDebugServer(*debugAddr, srv)
 		go func() {
-			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("debug listener failed", "addr", *debugAddr, "err", err)
 			}
 		}()

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a one-package module under dir.
+func writeModule(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, src := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+const fixtureGoMod = "module fixture\n\ngo 1.24\n"
+
+// TestSmokeSeededViolation runs the driver end to end over a synthetic
+// module carrying one sentinel-identity comparison and expects the
+// violation (and only it) to fail the run with exit status 1.
+func TestSmokeSeededViolation(t *testing.T) {
+	dir := t.TempDir()
+	writeModule(t, dir, map[string]string{
+		"go.mod": fixtureGoMod,
+		"fx.go": `package fixture
+
+import "errors"
+
+var ErrGone = errors.New("gone")
+
+func Check(err error) bool {
+	return err == ErrGone
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", dir, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "(sentinelerr)") || !strings.Contains(stdout.String(), "fx.go:8") {
+		t.Fatalf("finding not reported:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "1 finding(s)") {
+		t.Fatalf("summary missing from stderr: %s", stderr.String())
+	}
+}
+
+// TestSmokeCleanModule is the green path: the same module with the
+// comparison done through errors.Is exits 0 and prints nothing.
+func TestSmokeCleanModule(t *testing.T) {
+	dir := t.TempDir()
+	writeModule(t, dir, map[string]string{
+		"go.mod": fixtureGoMod,
+		"fx.go": `package fixture
+
+import "errors"
+
+var ErrGone = errors.New("gone")
+
+func Check(err error) bool {
+	return errors.Is(err, ErrGone)
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("unexpected output on clean module:\n%s", stdout.String())
+	}
+}
+
+// TestSmokeHotpathViolation seeds an annotated hot function that
+// allocates, covering the directive-driven analyzer through the driver.
+func TestSmokeHotpathViolation(t *testing.T) {
+	dir := t.TempDir()
+	writeModule(t, dir, map[string]string{
+		"go.mod": fixtureGoMod,
+		"fx.go": `package fixture
+
+//gmine:hotpath
+func Kernel(n int) []int {
+	return make([]int, n)
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", dir, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "(hotalloc)") {
+		t.Fatalf("hotalloc finding not reported:\n%s", stdout.String())
+	}
+}
+
+// TestSmokeRepoClean keeps the tree honest: the analyzers this repo
+// ships must pass over the repo itself, the same invocation `make lint`
+// runs. A red here means a new call site broke a contract.
+func TestSmokeRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree load in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", "../..", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("gminevet over the repo exited %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestFlagHandling covers -list and the unknown -only diagnostics.
+func TestFlagHandling(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"sweepalias", "pinpair", "sentinelerr", "hotalloc"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Fatalf("-list output missing %s:\n%s", name, stdout.String())
+		}
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-only", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-only nosuch exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), `unknown analyzer "nosuch"`) {
+		t.Fatalf("missing unknown-analyzer diagnostic: %s", stderr.String())
+	}
+}

@@ -49,4 +49,9 @@
 // everything needed to reproduce the paper's figures is reachable from
 // here. See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
+//
+// The hot-path contracts the implementation rests on — sweep-callback
+// buffer aliasing, buffer-pool pin pairing, errors.Is discipline,
+// zero-alloc //gmine:hotpath kernels — are machine-enforced by the
+// cmd/gminevet multichecker (internal/lint), run by `make lint` and CI.
 package gmine

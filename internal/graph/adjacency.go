@@ -45,7 +45,10 @@ type Adjacency interface {
 	//       }
 	//
 	//     which allocates only while the buffers grow toward the maximum
-	//     degree encountered (and never on the aliasing CSR).
+	//     degree encountered (and never on the aliasing CSR). The
+	//     implementations carry a //gmine:hotpath annotation, so the
+	//     hotalloc analyzer (`make lint`) rejects unguarded allocation in
+	//     their bodies at build time.
 	//   - Because an aliasing implementation returns internal storage, a
 	//     buffer pair must only ever be reused with the SAME Adjacency
 	//     instance, and never appended to or mutated by the caller —
@@ -107,7 +110,8 @@ func NeighborIDs(adj Adjacency, u NodeID, buf []NodeID) []NodeID {
 //   - nbrs and w are parallel, read-only, and valid only for the duration
 //     of the callback: they alias the sweep's block buffers (or the CSR's
 //     internal storage) and are overwritten or recycled as soon as fn
-//     returns. Callers must copy anything they keep.
+//     returns. Callers must copy anything they keep. The sweepalias
+//     analyzer (`make lint`) flags callbacks that let the slices escape.
 //   - fn returning false stops the sweep early; SweepEdges then returns
 //     nil.
 //   - The emitted ids, weights and their order are bit-identical to what

@@ -66,6 +66,8 @@ func (c *CSR) Neighbors(u NodeID) ([]NodeID, []float64) {
 // copies or allocates (Adjacency's zero-alloc contract). Capacities are
 // clamped to the row so an accidental append by a confused caller
 // reallocates instead of scribbling over the next node's row.
+//
+//gmine:hotpath
 func (c *CSR) NeighborsInto(u NodeID, _ []NodeID, _ []float64) ([]NodeID, []float64) {
 	lo, hi := c.Xadj[u], c.Xadj[u+1]
 	return c.Adjncy[lo:hi:hi], c.EdgeW[lo:hi:hi]
@@ -73,6 +75,8 @@ func (c *CSR) NeighborsInto(u NodeID, _ []NodeID, _ []float64) ([]NodeID, []floa
 
 // NeighborIDsInto returns u's neighbor ids as a read-only, cap-clamped
 // alias of internal storage (NeighborLister; the buffer is ignored).
+//
+//gmine:hotpath
 func (c *CSR) NeighborIDsInto(u NodeID, _ []NodeID) []NodeID {
 	lo, hi := c.Xadj[u], c.Xadj[u+1]
 	return c.Adjncy[lo:hi:hi]
@@ -83,6 +87,8 @@ func (c *CSR) NeighborIDsInto(u NodeID, _ []NodeID) []NodeID {
 // a slice walk handing out cap-clamped aliases of internal storage — no
 // copies, no allocations — so kernels can use one code path for both
 // backends.
+//
+//gmine:hotpath
 func (c *CSR) SweepEdges(lo, hi NodeID, fn func(u NodeID, nbrs []NodeID, w []float64) bool) error {
 	if lo < 0 || hi < lo || int(hi) > c.NumNodes {
 		return fmt.Errorf("graph: sweep range [%d,%d) out of bounds (n=%d)", lo, hi, c.NumNodes)
@@ -98,6 +104,8 @@ func (c *CSR) SweepEdges(lo, hi NodeID, fn func(u NodeID, nbrs []NodeID, w []flo
 
 // SweepNeighborIDs is the ids-only sweep (NeighborIDSweeper); same slice
 // walk as SweepEdges without the weight row.
+//
+//gmine:hotpath
 func (c *CSR) SweepNeighborIDs(lo, hi NodeID, fn func(u NodeID, nbrs []NodeID) bool) error {
 	if lo < 0 || hi < lo || int(hi) > c.NumNodes {
 		return fmt.Errorf("graph: sweep range [%d,%d) out of bounds (n=%d)", lo, hi, c.NumNodes)

@@ -186,6 +186,8 @@ func (c *PagedCSR) sweepFault(err error) error {
 }
 
 // xrange reads Xadj[u] and Xadj[u+1], the bounds of u's neighbor range.
+//
+//gmine:hotpath
 func (c *PagedCSR) xrange(u graph.NodeID) (lo, hi int, ok bool) {
 	if u < 0 || int(u) >= c.n {
 		c.setErr(fmt.Errorf("gtree: CSR node %d out of range (n=%d)", u, c.n))
@@ -233,6 +235,8 @@ func (c *PagedCSR) Neighbors(u graph.NodeID) ([]graph.NodeID, []float64) {
 // reused verbatim, so a paged kernel iteration stops allocating per node.
 // A fault mid-read is recorded on the epoch counter and nothing is
 // appended.
+//
+//gmine:hotpath
 func (c *PagedCSR) NeighborsInto(u graph.NodeID, nbrBuf []graph.NodeID, wBuf []float64) ([]graph.NodeID, []float64) {
 	lo, hi, ok := c.xrange(u)
 	if !ok || hi == lo {
@@ -259,6 +263,8 @@ func (c *PagedCSR) NeighborsInto(u graph.NodeID, nbrBuf []graph.NodeID, wBuf []f
 // half-edge, so the ids-only sweeps — whole-graph connectivity, key-path
 // DP — page a third of the bytes NeighborsInto would and stop evicting id
 // pages to fault in weight pages.
+//
+//gmine:hotpath
 func (c *PagedCSR) NeighborIDsInto(u graph.NodeID, buf []graph.NodeID) []graph.NodeID {
 	lo, hi, ok := c.xrange(u)
 	if !ok || hi == lo {
@@ -290,6 +296,8 @@ func (c *PagedCSR) NeighborIDsInto(u graph.NodeID, buf []graph.NodeID) []graph.N
 
 // decodeInto reads and decodes the half-edge range [lo,hi) into the
 // caller's buffers using raw (sized (hi-lo)*8) as the page-copy scratch.
+//
+//gmine:hotpath
 func (c *PagedCSR) decodeInto(lo, hi int, raw []byte, nbrBuf []graph.NodeID, wBuf []float64) ([]graph.NodeID, []float64) {
 	m := hi - lo
 	if err := c.adjncy.Read(lo, hi, raw[:m*4]); err != nil {
@@ -385,6 +393,8 @@ func (c *PagedCSR) SweepNeighborIDs(lo, hi graph.NodeID, fn func(u graph.NodeID,
 // SweepNeighborIDs and WeightedDegrees. mode selects which runs are
 // decoded; emit receives block-buffer subslices for exactly the selected
 // runs (nil otherwise), valid only for the duration of the call.
+//
+//gmine:hotpath
 func (c *PagedCSR) sweep(lo, hi int, mode sweepMode, emit func(u int, ids []graph.NodeID, ws []float64) bool) error {
 	if lo < 0 || hi < lo || hi > c.n {
 		return c.sweepFault(fmt.Errorf("gtree: sweep range [%d,%d) out of bounds (n=%d)", lo, hi, c.n))
@@ -457,6 +467,8 @@ func (c *PagedCSR) sweep(lo, hi int, mode sweepMode, emit func(u int, ids []grap
 // previous window) and only the missing suffix is read, so every Adjncy
 // and EdgeW page is pinned once per window that touches it. A list larger
 // than sweepEdgeChunk grows the window to hold it whole.
+//
+//gmine:hotpath
 func (c *PagedCSR) advanceWindow(b *sweepBufs, winLo, winHi, elo, ehi int, mode sweepMode) (int, int, error) {
 	if elo >= winLo && elo < winHi {
 		keep := winHi - elo

@@ -1,0 +1,161 @@
+// Package analysis is a minimal, dependency-free take on the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports position-anchored
+// diagnostics. The repo's build environment cannot reach a module proxy,
+// so x/tools is gated out and this package carries just the surface the
+// gminevet suite needs — same shape, so a future swap to the real
+// framework is mechanical.
+//
+// Diagnostics can be suppressed at the reporting line (or the line above)
+// with a staticcheck-style justification comment:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// A bare ignore without a reason does not suppress; the point of the
+// directive is that every exemption documents why the contract still
+// holds.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/packages"
+)
+
+// Analyzer is one named contract check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and lint:ignore
+	// directives. By convention a single lowercase word.
+	Name string
+	// Doc is the one-paragraph description shown by `gminevet -list`.
+	Doc string
+	// Run inspects the package behind pass and reports violations via
+	// pass.Reportf. A non-nil error aborts the whole run (reserved for
+	// internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	report    func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Finding is a resolved diagnostic: position information plus the
+// analyzer that produced it, ready for printing or test comparison.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run applies analyzers to pkg and returns the surviving findings in
+// position order, with lint:ignore-suppressed diagnostics dropped.
+func Run(pkg *packages.Package, analyzers []*Analyzer) ([]Finding, error) {
+	ignores := collectIgnores(pkg)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Types:     pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		pass.report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if ignores.match(a.Name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ignoreSet maps file → line → analyzer names exempted on that line.
+type ignoreSet map[string]map[int][]string
+
+// match reports whether an ignore directive on the diagnostic's line or
+// the line directly above names the analyzer (or "*").
+func (s ignoreSet) match(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer || name == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectIgnores gathers //lint:ignore directives. Only directives with a
+// non-empty reason after the analyzer list count.
+func collectIgnores(pkg *packages.Package) ignoreSet {
+	set := make(ignoreSet)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				names, reason, ok := strings.Cut(strings.TrimSpace(rest), " ")
+				if !ok || strings.TrimSpace(reason) == "" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					set[pos.Filename] = lines
+				}
+				for _, n := range strings.Split(names, ",") {
+					lines[pos.Line] = append(lines[pos.Line], strings.TrimSpace(n))
+				}
+			}
+		}
+	}
+	return set
+}

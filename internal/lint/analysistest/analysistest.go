@@ -1,0 +1,116 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src and checks its diagnostics against // want annotations,
+// mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	keep = nbrs // want `aliases the sweep's block buffers`
+//
+// Every diagnostic must be matched by a want regexp on its line, and
+// every want must be hit by a diagnostic — so a fixture proves both that
+// the analyzer fires and that it stays quiet on the compliant code around
+// the violations.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/packages"
+)
+
+// want is one expectation: a regexp that must match a diagnostic message
+// reported on its line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads testdata/src/<pkg> for each named fixture package (relative
+// to the caller's directory), applies the analyzer and compares
+// diagnostics against the fixtures' // want annotations.
+func Run(t *testing.T, a *analysis.Analyzer, fixturePkgs ...string) {
+	t.Helper()
+	_, callerFile, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("analysistest: cannot locate caller for testdata path")
+	}
+	callerDir := filepath.Dir(callerFile)
+	for _, fp := range fixturePkgs {
+		dir := filepath.Join(callerDir, "testdata", "src", fp)
+		pkg, err := packages.LoadDir(dir, callerDir)
+		if err != nil {
+			t.Fatalf("analysistest: loading fixture %s: %v", fp, err)
+		}
+		findings, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("analysistest: running %s on %s: %v", a.Name, fp, err)
+		}
+		wants, err := collectWants(pkg)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		for _, f := range findings {
+			if !claim(wants, f) {
+				t.Errorf("%s: unexpected diagnostic: %s", fp, f)
+			}
+		}
+		for _, w := range wants {
+			if !w.hit {
+				t.Errorf("%s: %s:%d: no diagnostic matched want %q", fp, filepath.Base(w.file), w.line, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unhit want matching f and reports success.
+func claim(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE extracts the quoted regexps of one // want comment: a sequence
+// of "..." or `...` strings.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// collectWants parses // want annotations from the fixture's comments.
+func collectWants(pkg *packages.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(text, -1)
+				if len(matches) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range matches {
+					raw := m[1]
+					if m[2] != "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

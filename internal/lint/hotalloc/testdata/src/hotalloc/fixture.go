@@ -1,0 +1,93 @@
+// Package hotalloc exercises the hotalloc analyzer: allocation-inducing
+// constructs inside //gmine:hotpath functions must be flagged, while
+// capacity-guarded growth, error construction and unannotated functions
+// stay quiet.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type row struct {
+	ids []int32
+	ws  []float64
+}
+
+type reader struct {
+	scratch []byte
+	rows    []row
+}
+
+// hot is the violating kernel.
+//
+//gmine:hotpath
+func hot(n int, out []int32) []int32 {
+	buf := make([]byte, n) // want `make allocates in //gmine:hotpath function hot`
+	_ = buf
+	var local []int32
+	for i := 0; i < n; i++ {
+		local = append(local, int32(i)) // want `append grows non-parameter slice local`
+		out = append(out, int32(i))     // appending into a parameter is the documented contract
+	}
+	s := fmt.Sprintf("%d", n) // want `fmt.Sprintf allocates`
+	_ = s
+	f := func() int { return n } // want `closure in //gmine:hotpath function hot`
+	_ = f
+	return out
+}
+
+// boxing flags explicit interface conversions of non-pointer operands.
+//
+//gmine:hotpath
+func boxing(v int64) any {
+	return any(v) // want `conversion to interface type boxes its operand`
+}
+
+// growth is the compliant amortized-growth idiom: allocation happens only
+// under a capacity/nil guard, so the warm path is alloc-free.
+//
+//gmine:hotpath
+func (r *reader) growth(n int) []byte {
+	if cap(r.scratch) < n {
+		r.scratch = make([]byte, n)
+	}
+	if r.rows == nil {
+		r.rows = []row{{}}
+	}
+	return r.scratch[:n]
+}
+
+// coldErrors shows error construction staying exempt: error paths are
+// cold by definition.
+//
+//gmine:hotpath
+func coldErrors(lo, hi int) error {
+	if lo > hi {
+		return fmt.Errorf("range [%d,%d) inverted", lo, hi)
+	}
+	if hi < 0 {
+		return &boundsError{lo: lo, hi: hi}
+	}
+	if lo < 0 {
+		return errors.New("negative lo")
+	}
+	return nil
+}
+
+type boundsError struct{ lo, hi int }
+
+func (e *boundsError) Error() string { return "out of bounds" }
+
+// unannotated functions may allocate freely.
+func unannotated(n int) []byte {
+	return make([]byte, n)
+}
+
+// suppressed documents a known one-off allocation.
+//
+//gmine:hotpath
+func suppressed(n int) *row {
+	//lint:ignore hotalloc one row header per miss, amortized across the run
+	return &row{ids: make([]int32, 0, n)}
+}

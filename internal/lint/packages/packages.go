@@ -1,0 +1,191 @@
+// Package packages loads and type-checks Go packages for the lint
+// analyzers, standing in for golang.org/x/tools/go/packages.
+//
+// The build environment this repo grows in has no module proxy access, so
+// x/tools — the natural first dependency for a go/analysis suite — cannot
+// be added. Instead of vendoring a stub, this loader leans on what the
+// baked-in toolchain already provides offline: `go list -export -deps`
+// compiles every dependency (standard library included) and reports the
+// export-data file of each, and go/types can import from those files via
+// importer.ForCompiler's lookup hook. Target packages are then parsed from
+// source and type-checked against that export data, which is exactly the
+// per-package view a go/analysis Pass gets.
+package packages
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package: the syntax trees of its non-test
+// sources plus the go/types objects an analyzer needs to resolve names.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matching patterns (e.g. "./...") in dir.
+// Test files are not loaded: the analyzers enforce contracts on shipped
+// code, and `go vet`-style test loading would drag the whole test
+// dependency graph through the type checker for no extra enforcement.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	exports := make(map[string]string)
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports, dir)
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Name == "main" && len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, gf := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, gf)
+		}
+		pkg, err := check(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir type-checks the single package rooted at dir, outside any
+// module — the analysistest fixture case. Imports (standard library only,
+// by construction of the fixtures) are resolved by asking the toolchain
+// for export data from listDir, which must sit inside a module so `go
+// list` has a build context.
+func LoadDir(dir, listDir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint/packages: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, map[string]string{}, listDir)
+	return check(fset, filepath.Base(dir), files, imp)
+}
+
+// check parses files and type-checks them as one package.
+func check(fset *token.FileSet, path string, files []string, imp types.Importer) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint/packages: type-checking %s: %v", path, err)
+	}
+	return &Package{PkgPath: path, Fset: fset, Syntax: syntax, Types: tpkg, TypesInfo: info}, nil
+}
+
+// newExportImporter returns a gc-export-data importer over a pre-built
+// path→file map, falling back to one `go list -export` invocation per
+// unknown import path (cached), run from listDir.
+func newExportImporter(fset *token.FileSet, exports map[string]string, listDir string) types.Importer {
+	var mu sync.Mutex
+	lookup := func(path string) (io.ReadCloser, error) {
+		mu.Lock()
+		file, ok := exports[path]
+		mu.Unlock()
+		if !ok {
+			cmd := exec.Command("go", "list", "-e", "-export", "-f", "{{.Export}}", path)
+			cmd.Dir = listDir
+			out, err := cmd.Output()
+			if err != nil {
+				return nil, fmt.Errorf("lint/packages: no export data for %q: %v", path, err)
+			}
+			file = strings.TrimSpace(string(out))
+			if file == "" {
+				return nil, fmt.Errorf("lint/packages: no export data for %q", path)
+			}
+			mu.Lock()
+			exports[path] = file
+			mu.Unlock()
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

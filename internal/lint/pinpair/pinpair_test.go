@@ -1,0 +1,12 @@
+package pinpair_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/pinpair"
+)
+
+func TestPinPair(t *testing.T) {
+	analysistest.Run(t, pinpair.Analyzer, "pinpair")
+}

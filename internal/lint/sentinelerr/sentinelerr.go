@@ -1,0 +1,96 @@
+// Package sentinelerr flags == / != comparisons between an error value
+// and a package-level error sentinel. The repo wraps errors on the query
+// path (obs.TagRequest tags every engine error with its request ID, and
+// fmt.Errorf("%w", ...) marks backend faults), so an identity comparison
+// against a sentinel silently stops matching the moment any layer in
+// between wraps — the bug class is invisible to tests that construct the
+// sentinel directly. Use errors.Is instead.
+//
+// io.EOF is exempt: the io.Reader contract mandates returning it
+// unwrapped, and the standard library compares it with == throughout.
+package sentinelerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/astq"
+)
+
+// Analyzer flags sentinel-error identity comparisons that break under
+// wrapping.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelerr",
+	Doc: "flags err == sentinel / err != sentinel comparisons against package-level " +
+		"error variables; they stop matching once any layer wraps the error " +
+		"(obs.TagRequest, fmt.Errorf %w), so use errors.Is. io.EOF is exempt " +
+		"(its API contract mandates unwrapped identity).",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			// One side must be an error-typed expression, the other a
+			// package-level error sentinel.
+			if !astq.IsErrorType(pass.TypesInfo.TypeOf(be.X)) && !astq.IsErrorType(pass.TypesInfo.TypeOf(be.Y)) {
+				return true
+			}
+			var sentinel *types.Var
+			var sentinelName string
+			for _, side := range [2]ast.Expr{be.X, be.Y} {
+				if v, name := sentinelVar(pass.TypesInfo, side); v != nil {
+					sentinel, sentinelName = v, name
+				}
+			}
+			if sentinel == nil || exempt(sentinel) {
+				return true
+			}
+			op := "errors.Is(err, " + sentinelName + ")"
+			if be.Op == token.NEQ {
+				op = "!" + op
+			}
+			pass.Reportf(be.OpPos, "comparing error with %s against sentinel %s breaks under wrapping; use %s",
+				be.Op, sentinelName, op)
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelVar reports whether e names a package-level variable whose type
+// satisfies error (nil and local variables do not count).
+func sentinelVar(info *types.Info, e ast.Expr) (*types.Var, string) {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil, ""
+	}
+	v, ok := astq.ObjectOf(info, id).(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil, ""
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil, "" // not package-level
+	}
+	if !astq.IsErrorType(v.Type()) && !astq.ImplementsError(v.Type()) {
+		return nil, ""
+	}
+	return v, v.Name()
+}
+
+// exempt lists sentinels whose API contract mandates unwrapped identity
+// comparison.
+func exempt(v *types.Var) bool {
+	return v.Pkg().Path() == "io" && v.Name() == "EOF"
+}

@@ -1,0 +1,12 @@
+package sentinelerr_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/sentinelerr"
+)
+
+func TestSentinelErr(t *testing.T) {
+	analysistest.Run(t, sentinelerr.Analyzer, "sentinelerr")
+}

@@ -1,0 +1,73 @@
+// Package sentinelerr exercises the sentinelerr analyzer: identity
+// comparisons against package-level error sentinels must be flagged,
+// errors.Is and the io.EOF exemption must stay quiet.
+package sentinelerr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var errSessionGone = fmt.Errorf("session is gone")
+
+// ErrBackend is an exported sentinel; visibility must not matter.
+var ErrBackend = errors.New("backend fault")
+
+// typedSentinel has a concrete error type rather than the error interface.
+var typedSentinel = &pathError{"x"}
+
+type pathError struct{ op string }
+
+func (e *pathError) Error() string { return e.op }
+
+func statusOf(err error) int {
+	if err == errSessionGone { // want `comparing error with == against sentinel errSessionGone breaks under wrapping`
+		return 404
+	}
+	if err != ErrBackend { // want `comparing error with != against sentinel ErrBackend`
+		return 0
+	}
+	return 500
+}
+
+func compliant(err error) int {
+	switch {
+	case errors.Is(err, errSessionGone):
+		return 404
+	case errors.Is(err, ErrBackend):
+		return 500
+	}
+	if err == nil { // nil comparison is fine
+		return 200
+	}
+	return 0
+}
+
+func readAll(r io.Reader) error {
+	var buf [64]byte
+	for {
+		_, err := r.Read(buf[:])
+		if err == io.EOF { // exempt: io.Reader's contract mandates identity
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func typed(err error) bool {
+	return err == typedSentinel // want `against sentinel typedSentinel`
+}
+
+func suppressed(err error) bool {
+	//lint:ignore sentinelerr this API documents returning the sentinel unwrapped
+	return err == ErrBackend
+}
+
+func localNotSentinel() bool {
+	local := errors.New("scoped")
+	var err error
+	return err == local // local variables are not sentinels
+}

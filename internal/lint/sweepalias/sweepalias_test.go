@@ -1,0 +1,12 @@
+package sweepalias_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/sweepalias"
+)
+
+func TestSweepAlias(t *testing.T) {
+	analysistest.Run(t, sweepalias.Analyzer, "sweepalias")
+}

@@ -1,0 +1,92 @@
+// Package sweepalias exercises the sweepalias analyzer against a local
+// stand-in for the graph.EdgeSweeper/Adjacency surface: row slices
+// emitted to sweep callbacks (and returned by the NeighborsInto family)
+// alias recycled buffers, so letting the slice header escape must be
+// flagged while element copies stay quiet.
+package sweepalias
+
+type NodeID int32
+
+type csr struct {
+	keep   [][]NodeID
+	lastW  []float64
+	result []NodeID
+}
+
+func (c *csr) SweepEdges(lo, hi NodeID, fn func(u NodeID, nbrs []NodeID, w []float64) bool) error {
+	return nil
+}
+
+func (c *csr) SweepNeighborIDs(lo, hi NodeID, fn func(u NodeID, nbrs []NodeID) bool) error {
+	return nil
+}
+
+func (c *csr) NeighborsInto(u NodeID, nbrBuf []NodeID, wBuf []float64) ([]NodeID, []float64) {
+	return nbrBuf, wBuf
+}
+
+func (c *csr) NeighborIDsInto(u NodeID, buf []NodeID) []NodeID { return buf }
+
+// NeighborIDs mirrors the graph.NeighborIDs package helper.
+func NeighborIDs(c *csr, u NodeID, buf []NodeID) []NodeID { return c.NeighborIDsInto(u, buf) }
+
+var globalRow []NodeID
+
+func violations(c *csr, ch chan []NodeID) {
+	var captured []NodeID
+	rows := make([][]NodeID, 0)
+	_ = c.SweepEdges(0, 10, func(u NodeID, nbrs []NodeID, w []float64) bool {
+		captured = nbrs                     // want `row slice assigned to captured variable captured`
+		rows = append(rows, nbrs)           // want `row slice assigned to captured variable rows`
+		c.lastW = w                         // want `row slice stored through c\.lastW`
+		ch <- nbrs                          // want `row slice sent on a channel`
+		head := nbrs[:1]                    // a local reslice still aliases...
+		c.keep[0] = head                    // want `row slice stored through c\.keep\[0\]`
+		_ = []any{nbrs}                     // want `row slice stored in a composite literal`
+		go func(r []NodeID) { _ = r }(nbrs) // want `row slice captured by a goroutine`
+		return true
+	})
+	_ = captured
+}
+
+// namedCallback proves the `push := func(...)` kernel idiom is resolved
+// through the variable.
+func namedCallback(c *csr) {
+	var sticky []NodeID
+	push := func(u NodeID, nbrs []NodeID) bool {
+		sticky = nbrs[1:] // want `row slice assigned to captured variable sticky`
+		return true
+	}
+	_ = c.SweepNeighborIDs(0, 10, push)
+	_ = sticky
+}
+
+// compliant shows the documented patterns: reading values, copying
+// elements out, accumulating scalars.
+func compliant(c *csr, next []float64) {
+	var sum float64
+	dst := make([]NodeID, 0, 64)
+	_ = c.SweepEdges(0, 10, func(u NodeID, nbrs []NodeID, w []float64) bool {
+		for i, v := range nbrs {
+			next[v] += w[i]
+		}
+		sum += float64(len(nbrs))
+		dst = append(dst, nbrs...) // element copy: safe
+		local := nbrs              // local alias that never escapes
+		_ = local
+		return true
+	})
+	_ = sum
+}
+
+func intoViolations(c *csr, ch chan []NodeID) {
+	var nbrs []NodeID
+	var ws []float64
+	nbrs, ws = c.NeighborsInto(3, nbrs[:0], ws[:0]) // locals: compliant
+	globalRow = NeighborIDs(c, 4, nil)              // want `NeighborIDs result stored in package-level variable globalRow`
+	c.result, _ = c.NeighborsInto(5, nil, nil)      // want `NeighborsInto result stored through c\.result`
+	ch <- c.NeighborIDsInto(6, nil)                 // want `NeighborIDsInto result sent on a channel`
+	c.keep = append(c.keep, NeighborIDs(c, 7, nil)) // want `NeighborIDs result appended as a slice header`
+	_ = nbrs
+	_ = ws
+}

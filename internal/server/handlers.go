@@ -133,7 +133,7 @@ var errBackendFault = errors.New("backend fault")
 // are 500, everything else gets the caller's fallback.
 func statusOf(err error, fallback int) int {
 	switch {
-	case err == errSessionGone:
+	case errors.Is(err, errSessionGone):
 		return http.StatusNotFound
 	case errors.Is(err, errBackendFault), errors.Is(err, core.ErrPagedIO):
 		return http.StatusInternalServerError
@@ -770,7 +770,7 @@ func (s *Server) planExtract(sess *Session, req ExtractRequest) (extractPlan, in
 	if err != nil {
 		status := http.StatusBadRequest
 		switch {
-		case err == errSessionGone:
+		case errors.Is(err, errSessionGone):
 			status = http.StatusNotFound
 		case errors.Is(err, core.ErrNoCSR):
 			status = http.StatusConflict

@@ -27,6 +27,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"log/slog"
 	"net"
 	"net/http"
@@ -154,7 +155,7 @@ func (s *Server) ListenAndServe() error {
 // Serve serves on ln until Shutdown.
 func (s *Server) Serve(ln net.Listener) error {
 	err := s.httpSrv.Serve(ln)
-	if err == http.ErrServerClosed {
+	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}
 	return err

@@ -1,0 +1,39 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestStatusOfWrappedSentinels pins the errors.Is behavior of the error →
+// HTTP status mapping: the instrument middleware tags every handler error
+// with a request ID (obs.RequestError wraps the original), so a sentinel
+// that is only matched by identity would stop mapping the moment the tag
+// is applied. A gone session must stay a 404 no matter how many layers of
+// wrapping sit between statusOf and the sentinel.
+func TestStatusOfWrappedSentinels(t *testing.T) {
+	cases := []struct {
+		name     string
+		err      error
+		fallback int
+		want     int
+	}{
+		{"bare session-gone", errSessionGone, http.StatusInternalServerError, http.StatusNotFound},
+		{"request-tagged session-gone", obs.TagRequest(errSessionGone, "deadbeef01234567"), http.StatusInternalServerError, http.StatusNotFound},
+		{"fmt-wrapped session-gone", fmt.Errorf("lookup %q: %w", "default", errSessionGone), http.StatusInternalServerError, http.StatusNotFound},
+		{"tagged and fmt-wrapped session-gone", obs.TagRequest(fmt.Errorf("lookup: %w", errSessionGone), "deadbeef01234567"), http.StatusInternalServerError, http.StatusNotFound},
+		{"tagged backend fault", obs.TagRequest(fmt.Errorf("%w: short read", errBackendFault), "deadbeef01234567"), http.StatusBadRequest, http.StatusInternalServerError},
+		{"unrelated error keeps fallback", errors.New("no such label"), http.StatusBadRequest, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := statusOf(tc.err, tc.fallback); got != tc.want {
+				t.Fatalf("statusOf(%v, %d) = %d, want %d", tc.err, tc.fallback, got, tc.want)
+			}
+		})
+	}
+}

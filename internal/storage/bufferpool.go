@@ -47,6 +47,13 @@ type frame struct {
 // GMine's interactive navigation reads the same sibling communities
 // repeatedly; the pool is what makes a focus change touch the disk only for
 // pages outside the current working set (experiment E10).
+//
+// Two contracts here are machine-checked by `make lint` (cmd/gminevet):
+// every Get must have a Release reachable on all paths and every Partition
+// a Close (the pinpair analyzer), and the warm Get/Release path itself is
+// annotated //gmine:hotpath, so the hotalloc analyzer rejects new
+// allocation in it — the intrusive LRU exists precisely to keep that path
+// at zero allocations.
 type BufferPool struct {
 	mu     sync.Mutex
 	cond   *sync.Cond // signaled when a frame becomes unpinned or protection lapses
@@ -78,6 +85,8 @@ func NewBufferPool(pager *Pager, capacity int) *BufferPool {
 }
 
 // lruPushFront marks fr most recently used. Caller holds bp.mu.
+//
+//gmine:hotpath
 func (bp *BufferPool) lruPushFront(fr *frame) {
 	fr.prev = nil
 	fr.next = bp.head
@@ -92,6 +101,8 @@ func (bp *BufferPool) lruPushFront(fr *frame) {
 }
 
 // lruRemove unlinks fr from the eviction order. Caller holds bp.mu.
+//
+//gmine:hotpath
 func (bp *BufferPool) lruRemove(fr *frame) {
 	if !fr.inLRU {
 		return
@@ -133,12 +144,16 @@ func evictableBy(fr *frame, requester *Partition) bool {
 // keep it that way. (Partition reservations cannot starve a waiter either:
 // reserved ≤ cap-1, so once pins drain at least one frame is always
 // evictable by anyone.)
+//
+//gmine:hotpath
 func (bp *BufferPool) Get(id PageID) ([]byte, error) {
 	return bp.get(id, nil)
 }
 
 // get is Get on behalf of requester (nil = the shared remainder). Hits and
 // loads are attributed to the requester's counters and reservation.
+//
+//gmine:hotpath
 func (bp *BufferPool) get(id PageID, requester *Partition) ([]byte, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
@@ -202,6 +217,7 @@ func (bp *BufferPool) get(id PageID, requester *Partition) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore hotalloc miss path: the frame allocation is paid once per page load, never on the warm hit path the zero-alloc guard covers
 	fr := &frame{id: id, data: data, pins: 1}
 	if requester != nil {
 		fr.owner = requester
@@ -213,6 +229,8 @@ func (bp *BufferPool) get(id PageID, requester *Partition) ([]byte, error) {
 
 // Release unpins page id. Fully unpinned pages become evictable (most
 // recently used first to be kept) and wake any Get waiting for a frame.
+//
+//gmine:hotpath
 func (bp *BufferPool) Release(id PageID) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
@@ -303,11 +321,15 @@ func (bp *BufferPool) Partition(frames int) *Partition {
 
 // Get pins page id through the partition (PagePool). After Close the view
 // degrades to the shared remainder (checked under the pool lock).
+//
+//gmine:hotpath
 func (p *Partition) Get(id PageID) ([]byte, error) {
 	return p.bp.get(id, p)
 }
 
 // Release unpins page id (PagePool).
+//
+//gmine:hotpath
 func (p *Partition) Release(id PageID) { p.bp.Release(id) }
 
 // Close returns the reservation to the pool and demotes the partition's

@@ -131,6 +131,8 @@ func (r *RunReader) WithPool(p PagePool) *RunReader {
 // explicit gate means a negative lo, an inverted range or an hi past the
 // run can never reach the page math below, where lo<0 would index pages
 // before the run and hi>count would read whatever follows it in the file.
+//
+//gmine:hotpath
 func (r *RunReader) Read(lo, hi int, dst []byte) error {
 	if lo < 0 || hi < lo || hi > r.count {
 		return &RangeError{Lo: lo, Hi: hi, Count: r.count}
