@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -613,6 +614,111 @@ func BenchmarkPageRankSweepVsNeighbors(b *testing.B) {
 				b.ReportMetric(float64(st.Hits+st.Misses)/float64(b.N), "pins/op")
 			})
 		}
+	}
+}
+
+// shardCounts are the shard-axis points of the sharded-sweep benchmarks:
+// serial, two-way, and one shard per core. On a multi-core runner the
+// GOMAXPROCS point is the headline (ns/op should drop roughly with the
+// core count on the memory backend); on a single core all three land on
+// the same serial-ish time, which is itself the claim — the fan-out costs
+// nothing when it cannot help. Results are bit-identical at every point.
+func shardCounts() []int {
+	counts := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		counts = append(counts, p)
+	}
+	return counts
+}
+
+// BenchmarkPageRankShards is the trajectory point for the sharded
+// whole-graph sweeps: one PageRank solve at shards=1/2/GOMAXPROCS on both
+// backends. pins/op on the paged runs shows the cost of carving per-shard
+// pool partitions (boundary pages pinned once per adjacent shard) — the
+// acceptance bound keeps it within 1.3x of the serial sweep.
+func BenchmarkPageRankShards(b *testing.B) {
+	setup(b)
+	csr := gmine.ToCSR(benchDS.Graph)
+	for _, shards := range shardCounts() {
+		opts := gmine.PageRankOptions{Shards: shards}
+		b.Run(fmt.Sprintf("Memory/shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if pr := gmine.PageRankAdj(csr, opts); len(pr) == 0 {
+					b.Fatal("empty pagerank")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Paged/shards=%d", shards), func(b *testing.B) {
+			disk, err := gmine.Open(benchTree, 4096)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer disk.Close()
+			adj, err := disk.Adj()
+			if err != nil {
+				b.Fatal(err)
+			}
+			adj.WeightedDegrees()
+			disk.Store().ResetPoolStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if pr := gmine.PageRankAdj(adj, opts); len(pr) == 0 {
+					b.Fatal("empty pagerank")
+				}
+			}
+			b.StopTimer()
+			st := disk.Store().PoolStats()
+			b.ReportMetric(float64(st.Hits+st.Misses)/float64(b.N), "pins/op")
+		})
+	}
+}
+
+// BenchmarkRWRSetShards is the RWR-side shard trajectory point — the
+// extraction solve at shards=1/2/GOMAXPROCS on both backends, pins/op on
+// the paged runs.
+func BenchmarkRWRSetShards(b *testing.B) {
+	setup(b)
+	csr := gmine.ToCSR(benchDS.Graph)
+	sources := []gmine.NodeID{
+		benchDS.Notables[gmine.NamePhilipYu],
+		benchDS.Notables[gmine.NameFlipKorn],
+		benchDS.Notables[gmine.NameGarofalakis],
+	}
+	for _, shards := range shardCounts() {
+		opts := gmine.RWROptions{Shards: shards}
+		b.Run(fmt.Sprintf("Memory/shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := gmine.RWRSet(csr, sources, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Paged/shards=%d", shards), func(b *testing.B) {
+			disk, err := gmine.Open(benchTree, 4096)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer disk.Close()
+			adj, err := disk.Adj()
+			if err != nil {
+				b.Fatal(err)
+			}
+			adj.WeightedDegrees()
+			disk.Store().ResetPoolStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gmine.RWRSet(adj, sources, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := disk.Store().PoolStats()
+			b.ReportMetric(float64(st.Hits+st.Misses)/float64(b.N), "pins/op")
+		})
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/analysis"
@@ -74,5 +75,22 @@ func cmdBench(args []string) error {
 		ds.Graph.NumNodes(), adj.HalfEdges(), *pool,
 		sweep.Round(time.Microsecond), node.Round(time.Microsecond),
 		float64(node)/float64(sweep))
+
+	// Serial vs sharded on the memory backend: same solve, every core.
+	// Results are bit-identical for any shard count; only wall-clock moves.
+	memAdj, err := eng.Adj()
+	if err != nil {
+		return err
+	}
+	shards := runtime.GOMAXPROCS(0)
+	serialOpts, shardedOpts := opts, opts
+	serialOpts.Shards, shardedOpts.Shards = 1, shards
+	opts = serialOpts
+	serial := time1(memAdj)
+	opts = shardedOpts
+	sharded := time1(memAdj)
+	fmt.Printf("memory PageRank sharded (%d shards): serial %s vs sharded %s — %.2fx\n",
+		shards, serial.Round(time.Microsecond), sharded.Round(time.Microsecond),
+		float64(serial)/float64(sharded))
 	return nil
 }

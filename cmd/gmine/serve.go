@@ -32,6 +32,7 @@ func cmdServe(args []string) error {
 	tree := fs.String("tree", "", "preload a disk-backed session from this G-Tree file")
 	pool := fs.Int("pool", 0, "buffer-pool pages for the preloaded -tree session (0 = default); bounds resident paged-graph memory")
 	poolQuota := fs.Int("poolquota", 0, "buffer-pool frames each whole-graph query on the preloaded -tree session reserves against eviction by concurrent queries (0 = a quarter of -pool, negative = disabled)")
+	sweepShards := fs.Int("sweepshards", 0, "sweep shards per whole-graph query on the preloaded session (0 = one per core on large graphs, 1 = serial); results are bit-identical for any value")
 	seed := fs.Int64("seed", 1, "seed for the preloaded session")
 	k := fs.Int("k", 5, "hierarchy fanout for preloaded memory sessions")
 	levels := fs.Int("levels", 5, "hierarchy levels for preloaded memory sessions")
@@ -58,15 +59,15 @@ func cmdServe(args []string) error {
 	case *synthetic > 0:
 		preload = &server.CreateSessionRequest{
 			Name: *name, Source: "synthetic", Scale: *synthetic,
-			Seed: *seed, K: *k, Levels: *levels,
+			Seed: *seed, K: *k, Levels: *levels, SweepShards: *sweepShards,
 		}
 	case *in != "":
 		preload = &server.CreateSessionRequest{
 			Name: *name, Source: "edges", Path: *in,
-			Seed: *seed, K: *k, Levels: *levels,
+			Seed: *seed, K: *k, Levels: *levels, SweepShards: *sweepShards,
 		}
 	case *tree != "":
-		preload = &server.CreateSessionRequest{Name: *name, Source: "gtree", Path: *tree, PoolPages: *pool, PoolQuota: *poolQuota}
+		preload = &server.CreateSessionRequest{Name: *name, Source: "gtree", Path: *tree, PoolPages: *pool, PoolQuota: *poolQuota, SweepShards: *sweepShards}
 	}
 	if preload != nil {
 		begin := time.Now()

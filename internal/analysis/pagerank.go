@@ -15,6 +15,11 @@ type PageRankOptions struct {
 	Epsilon float64
 	// MaxIter caps the iterations (default 100).
 	MaxIter int
+	// Shards is the sweep shard count per iteration: 0 = auto (GOMAXPROCS
+	// when the graph clears graph.MinAutoShardEdges), 1 = serial, >= 2 =
+	// exactly that many shards. Sharding is an execution knob only — the
+	// ordered merge keeps the result bit-identical to the serial sweep.
+	Shards int
 }
 
 func (o PageRankOptions) withDefaults() PageRankOptions {
@@ -70,6 +75,30 @@ func PageRankAdj(c graph.Adjacency, opts PageRankOptions) []float64 {
 	// node-centric O(n). Emission order and rows are bit-identical to the
 	// NeighborsInto loop, so both paths converge to the same bits.
 	sweeper, _ := c.(graph.EdgeSweeper)
+	// Sharded fast path: range-shard each iteration's sweep across
+	// goroutines, logging contributions into a private accumulator whose
+	// ordered merge replays the exact serial fold (see graph.PushAcc) —
+	// bit-identical results, all cores. Views and the accumulator are set
+	// up once and reused across every iteration of the solve.
+	var (
+		acc     *graph.PushAcc
+		views   []graph.EdgeSweeper
+		ranges  []graph.ShardRange
+		release func()
+	)
+	if sv, ok := c.(graph.SweepShardViewer); ok {
+		if k := graph.EffectiveSweepShards(c, opts.Shards); k > 1 {
+			if r := graph.ShardRanges(c, k); len(r) > 1 {
+				if v, rel, err := sv.SweepShardViews(len(r)); err == nil {
+					views, ranges, release = v, r, rel
+					acc = graph.NewPushAcc(n, len(r))
+				}
+			}
+		}
+	}
+	if release != nil {
+		defer release()
+	}
 	// One buffer pair for the whole iteration (this goroutine only): the
 	// paged backend decodes into it instead of allocating per node sweep
 	// (node-centric fallback only).
@@ -83,34 +112,51 @@ func PageRankAdj(c graph.Adjacency, opts PageRankOptions) []float64 {
 			}
 		}
 		base := (1-opts.Damping)*1.0/float64(n) + opts.Damping*dangling/float64(n)
-		for i := range next {
-			next[i] = base
-		}
-		push := func(u graph.NodeID, nbrs []graph.NodeID, ws []float64) bool {
-			if wdeg[u] == 0 {
+		if acc != nil {
+			acc.Reset()
+			err := graph.ParallelSweepEdges(views, ranges, func(shard int, u graph.NodeID, nbrs []graph.NodeID, ws []float64) bool {
+				if wdeg[u] == 0 {
+					return true
+				}
+				acc.AddRow(shard, nbrs, ws, opts.Damping*rank[u]/wdeg[u])
 				return true
-			}
-			share := opts.Damping * rank[u] / wdeg[u]
-			for i, v := range nbrs {
-				next[v] += share * ws[i]
-			}
-			return true
-		}
-		if sweeper != nil {
-			if err := sweeper.SweepEdges(0, graph.NodeID(n), push); err != nil {
-				// The Adjacency contract has no error surface here; a paged
-				// backend has latched the fault on its epoch, which the
-				// engine-level bracket turns into ErrPagedIO. Stop iterating
-				// rather than keep grinding a doomed solve.
+			})
+			if err != nil {
+				// Same contract as the serial sweep below: the backend has
+				// latched the fault; stop iterating.
 				break
 			}
+			acc.Merge(next, nil, base)
 		} else {
-			for u := 0; u < n; u++ {
+			for i := range next {
+				next[i] = base
+			}
+			push := func(u graph.NodeID, nbrs []graph.NodeID, ws []float64) bool {
 				if wdeg[u] == 0 {
-					continue
+					return true
 				}
-				nbrs, ws = c.NeighborsInto(graph.NodeID(u), nbrs[:0], ws[:0])
-				push(graph.NodeID(u), nbrs, ws)
+				share := opts.Damping * rank[u] / wdeg[u]
+				for i, v := range nbrs {
+					next[v] += share * ws[i]
+				}
+				return true
+			}
+			if sweeper != nil {
+				if err := sweeper.SweepEdges(0, graph.NodeID(n), push); err != nil {
+					// The Adjacency contract has no error surface here; a paged
+					// backend has latched the fault on its epoch, which the
+					// engine-level bracket turns into ErrPagedIO. Stop iterating
+					// rather than keep grinding a doomed solve.
+					break
+				}
+			} else {
+				for u := 0; u < n; u++ {
+					if wdeg[u] == 0 {
+						continue
+					}
+					nbrs, ws = c.NeighborsInto(graph.NodeID(u), nbrs[:0], ws[:0])
+					push(graph.NodeID(u), nbrs, ws)
+				}
 			}
 		}
 		var delta float64

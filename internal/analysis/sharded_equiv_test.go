@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestPageRankAdjShardedBitIdentical is the sharded tentpole oracle: for
+// any explicit shard count the all-core solve must land on exactly the
+// serial bits — on the in-memory CSR and the paged CSR alike. Explicit
+// Shards >= 2 bypasses the MinAutoShardEdges gate, so the tiny fixture
+// graphs genuinely exercise the fan-out/merge machinery.
+func TestPageRankAdjShardedBitIdentical(t *testing.T) {
+	for _, seed := range []int64{11, 12, 13} {
+		csr, paged, _ := analysisFixture(t, seed, 150+int(seed)*30, 700)
+		serial := PageRankOptions{MaxIter: 60, Shards: 1}
+		want := PageRankAdj(nodeCentricOnly{csr}, serial)
+		for _, shards := range []int{2, 3, 4, 8} {
+			opts := serial
+			opts.Shards = shards
+			for name, adj := range map[string]graph.Adjacency{"csr": csr, "paged": paged} {
+				got := PageRankAdj(adj, opts)
+				if len(got) != len(want) {
+					t.Fatalf("seed %d %s shards=%d: %d ranks, want %d", seed, name, shards, len(got), len(want))
+				}
+				for v := range want {
+					if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+						t.Fatalf("seed %d %s shards=%d node %d: %v != %v",
+							seed, name, shards, v, got[v], want[v])
+					}
+				}
+			}
+		}
+		if err := paged.Err(); err != nil {
+			t.Fatalf("seed %d: paged fault: %v", seed, err)
+		}
+	}
+}
+
+// TestReportAdjShardedBitIdentical: the sharded structure report — local
+// histograms, extrema and union-find relations merged in shard order —
+// is structurally identical to the serial one-pass report.
+func TestReportAdjShardedBitIdentical(t *testing.T) {
+	for _, seed := range []int64{14, 15} {
+		csr, paged, g := analysisFixture(t, seed, 220, 900)
+		want := ReportAdj(nodeCentricOnly{csr}, g.Directed())
+		wantFit := math.Float64bits(want.Degree.PowerLawExponent)
+		want.Degree.PowerLawExponent = 0
+		for _, shards := range []int{2, 3, 4, 8} {
+			for name, adj := range map[string]graph.Adjacency{"csr": csr, "paged": paged} {
+				got := ReportAdjSharded(adj, g.Directed(), shards)
+				if math.Float64bits(got.Degree.PowerLawExponent) != wantFit {
+					t.Fatalf("seed %d %s shards=%d: power-law fit bits %x != %x", seed, name, shards,
+						math.Float64bits(got.Degree.PowerLawExponent), wantFit)
+				}
+				got.Degree.PowerLawExponent = 0
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d %s shards=%d: report diverged:\n got %+v\nwant %+v",
+						seed, name, shards, got, want)
+				}
+			}
+		}
+		if err := paged.Err(); err != nil {
+			t.Fatalf("seed %d: paged fault: %v", seed, err)
+		}
+	}
+}

@@ -64,6 +64,12 @@ type Engine struct {
 	// SetPoolQuota.
 	poolQuota int
 
+	// sweepShards is the session default shard count of whole-graph sweeps
+	// (PageRank, RWR, structure reports): 0 = auto (GOMAXPROCS, gated by
+	// graph.MinAutoShardEdges), 1 = serial, >= 2 = exact. Per-query kernel
+	// options override it. See SetSweepShards.
+	sweepShards int
+
 	focus   gtree.TreeID
 	history []gtree.TreeID
 }
@@ -166,6 +172,23 @@ func (e *Engine) Adj() (graph.Adjacency, error) {
 // queries; set it right after OpenEngine.
 func (e *Engine) SetPoolQuota(frames int) { e.poolQuota = frames }
 
+// SetSweepShards sets the session default shard count for whole-graph
+// sweeps: 0 = auto (one shard per core once the graph clears
+// graph.MinAutoShardEdges), 1 = serial, >= 2 = exactly that many shards.
+// Sharding is an execution knob only — the ordered merge keeps every
+// sharded kernel bit-identical to its serial sweep — so, like Parallel,
+// it never participates in result cache keys. Kernel options with an
+// explicit non-zero Shards win over the session default. Propagated to
+// the store of disk-backed engines (its WeightedDegrees build shards
+// too). Not safe to call concurrently with queries; set it right after
+// engine construction.
+func (e *Engine) SetSweepShards(k int) {
+	e.sweepShards = k
+	if e.store != nil {
+		e.store.SetSweepShards(k)
+	}
+}
+
 // queryAdj returns the adjacency a whole-graph query should solve on and
 // a release function to call when done. Memory-backed engines hand out
 // the shared CSR; disk-backed ones wrap the paged CSR in a per-query
@@ -206,6 +229,14 @@ func (e *Engine) queryAdj(tr *obs.Trace) (graph.Adjacency, func(), error) {
 			tr.Count("pool.quota", int64(st.Quota))
 			tr.Count("pool.held", int64(st.Held))
 			tr.Count("pool.faults", int64(view.Faults()-faults0))
+			// Sharded sweeps carved shard partitions out of this query's
+			// quota (Partition.Split); their folded snapshots are the
+			// query's per-shard pin distribution. Distinct names per shard:
+			// Trace.Count merges duplicates by summing, and the totals are
+			// already whole (the fold added shard activity back into st).
+			for i, ss := range part.ShardStats() {
+				tr.Count(fmt.Sprintf("pool.shard.%d.pins", i), int64(ss.Hits+ss.Misses))
+			}
 			part.Close()
 		}
 		return view, release, nil
@@ -511,6 +542,9 @@ func (e *Engine) ExtractTraced(tr *obs.Trace, sources []graph.NodeID, opts extra
 	if tr != nil {
 		opts.StageHook = tr.ObserveStage
 	}
+	if opts.RWR.Shards == 0 {
+		opts.RWR.Shards = e.sweepShards
+	}
 	sp = tr.StartStage("solve")
 	err = e.withFaultCheck(adj, func() error {
 		var err error
@@ -543,6 +577,9 @@ func (e *Engine) PageRankTraced(tr *obs.Trace, opts analysis.PageRankOptions) (r
 		return nil, err
 	}
 	defer release()
+	if opts.Shards == 0 {
+		opts.Shards = e.sweepShards
+	}
 	sp := tr.StartStage("solve")
 	err = e.withFaultCheck(adj, func() error {
 		ranks = analysis.PageRankAdj(adj, opts)
@@ -606,10 +643,13 @@ func (e *Engine) AnalyzeGraphTraced(tr *obs.Trace, opts analysis.PageRankOptions
 	if err != nil {
 		return nil, err
 	}
+	if opts.Shards == 0 {
+		opts.Shards = e.sweepShards
+	}
 	res = &GraphAnalysis{Directed: e.directed()}
 	sp = tr.StartStage("report")
 	err = e.withFaultCheck(adj, func() error {
-		res.AdjacencyReport = analysis.ReportAdj(adj, e.directed())
+		res.AdjacencyReport = analysis.ReportAdjSharded(adj, e.directed(), opts.Shards)
 		return nil
 	})
 	sp.End()

@@ -34,6 +34,15 @@ type RWROptions struct {
 	// execution knob, never a semantic one (and is excluded from server
 	// cache keys for that reason).
 	Parallel int
+	// Shards is the per-iteration sweep shard count of one RWRSet solve:
+	// 0 = auto (GOMAXPROCS when the graph clears graph.MinAutoShardEdges),
+	// 1 = serial, >= 2 = exactly that many shards. Like Parallel it is an
+	// execution knob only — the ordered merge keeps the sharded solve
+	// bit-identical to the serial sweep — and is likewise excluded from
+	// server cache keys. RWRMulti forces the inner solves serial whenever
+	// it is already fanning sources out over more than one worker, so the
+	// two parallelism axes never multiply.
+	Shards int
 }
 
 // Normalize validates o and fills zero fields with defaults. Explicitly
@@ -110,44 +119,97 @@ func RWRSet(c graph.Adjacency, sources []graph.NodeID, opts RWROptions) ([]float
 	// NeighborsInto in the same ascending-u order, so both paths produce
 	// the same floating-point vector.
 	sweeper, _ := c.(graph.EdgeSweeper)
+	// Sharded fast path: range-shard each pass across goroutines, logging
+	// contributions into a private accumulator whose ordered merge replays
+	// the exact serial fold (see graph.PushAcc) — bit-identical, all cores.
+	// The seed vector cc·restartMass is precomputed once; the serial loop
+	// recomputes the same products every pass, so seeding the merge from
+	// the table is bit-identical.
+	var (
+		acc     *graph.PushAcc
+		views   []graph.EdgeSweeper
+		ranges  []graph.ShardRange
+		release func()
+		seed    []float64
+	)
+	if sv, ok := c.(graph.SweepShardViewer); ok {
+		if k := graph.EffectiveSweepShards(c, opts.Shards); k > 1 {
+			if sr := graph.ShardRanges(c, k); len(sr) > 1 {
+				if v, rel, verr := sv.SweepShardViews(len(sr)); verr == nil {
+					views, ranges, release = v, sr, rel
+					acc = graph.NewPushAcc(n, len(sr))
+					seed = make([]float64, n)
+					for i := range seed {
+						seed[i] = cc * restartMass[i]
+					}
+				}
+			}
+		}
+	}
+	if release != nil {
+		defer release()
+	}
 	// One buffer pair for the whole solve (this goroutine only): the paged
 	// backend decodes into it instead of allocating per Neighbors call
 	// (node-centric fallback only).
 	var nbrs []graph.NodeID
 	var ws []float64
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		for i := range next {
-			next[i] = cc * restartMass[i]
-		}
-		push := func(u graph.NodeID, nbrs []graph.NodeID, ws []float64) bool {
-			if r[u] == 0 {
-				return true
-			}
-			if wdeg[u] == 0 {
-				// Dangling walker restarts entirely.
-				for _, s := range sources {
-					next[s] += (1 - cc) * r[u] * share
+		if acc != nil {
+			acc.Reset()
+			err := graph.ParallelSweepEdges(views, ranges, func(shard int, u graph.NodeID, nbrs []graph.NodeID, ws []float64) bool {
+				if r[u] == 0 {
+					return true
 				}
+				if wdeg[u] == 0 {
+					// Dangling walker restarts entirely; Add preserves the
+					// serial source order.
+					for _, s := range sources {
+						acc.Add(shard, s, (1-cc)*r[u]*share)
+					}
+					return true
+				}
+				acc.AddRow(shard, nbrs, ws, (1-cc)*r[u]/wdeg[u])
 				return true
-			}
-			scale := (1 - cc) * r[u] / wdeg[u]
-			for i, v := range nbrs {
-				next[v] += scale * ws[i]
-			}
-			return true
-		}
-		if sweeper != nil {
-			if err := sweeper.SweepEdges(0, graph.NodeID(n), push); err != nil {
+			})
+			if err != nil {
 				return nil, err
 			}
+			acc.Merge(next, seed, 0)
 		} else {
-			for u := 0; u < n; u++ {
-				if r[u] == 0 || wdeg[u] == 0 {
-					push(graph.NodeID(u), nil, nil)
-					continue
+			for i := range next {
+				next[i] = cc * restartMass[i]
+			}
+			push := func(u graph.NodeID, nbrs []graph.NodeID, ws []float64) bool {
+				if r[u] == 0 {
+					return true
 				}
-				nbrs, ws = c.NeighborsInto(graph.NodeID(u), nbrs[:0], ws[:0])
-				push(graph.NodeID(u), nbrs, ws)
+				if wdeg[u] == 0 {
+					// Dangling walker restarts entirely.
+					for _, s := range sources {
+						next[s] += (1 - cc) * r[u] * share
+					}
+					return true
+				}
+				scale := (1 - cc) * r[u] / wdeg[u]
+				for i, v := range nbrs {
+					next[v] += scale * ws[i]
+				}
+				return true
+			}
+			if sweeper != nil {
+				if err := sweeper.SweepEdges(0, graph.NodeID(n), push); err != nil {
+					return nil, err
+				}
+			} else {
+				for u := 0; u < n; u++ {
+					if r[u] == 0 || wdeg[u] == 0 {
+						push(graph.NodeID(u), nil, nil)
+						continue
+					}
+					nbrs, ws = c.NeighborsInto(graph.NodeID(u), nbrs[:0], ws[:0])
+					push(graph.NodeID(u), nbrs, ws)
+				}
 			}
 		}
 		var delta float64
@@ -198,6 +260,14 @@ func RWRMulti(c graph.Adjacency, sources []graph.NodeID, opts RWROptions) ([][]f
 		}
 		return out, nil
 	}
+	// The multi-source fan-out already keeps every core on its own
+	// independent solve; sharding inside each worker's sweep on top of
+	// that would oversubscribe the cores and (on the paged backend)
+	// fragment each worker's pool quota k ways for no extra parallelism.
+	// One axis at a time: many sources → parallel across sources, serial
+	// within; single source → sharded within (the workers <= 1 path above
+	// keeps opts.Shards).
+	opts.Shards = 1
 	// Force the weighted-degree table once before the fan-out: sync.Once
 	// would serialize the first concurrent callers anyway, and a warm table
 	// keeps the workers purely read-only on the CSR.

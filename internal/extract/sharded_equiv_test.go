@@ -1,0 +1,92 @@
+package extract
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestRWRSetShardedBitIdentical: the range-sharded RWR solve — private
+// contribution logs replayed in shard order — must equal the serial
+// node-centric solve bit for bit for any shard count, on both backends.
+// Explicit Shards >= 2 bypasses the size gate, so the small random
+// graphs genuinely run the sharded path.
+func TestRWRSetShardedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 6; trial++ {
+		n := 40 + rng.Intn(160)
+		g := randomConnected(rng, n, rng.Intn(4*n))
+		csr := graph.ToCSR(g)
+		paged := pagedFixture(t, g, 8+rng.Intn(48))
+		m := 1 + rng.Intn(4)
+		sources := make([]graph.NodeID, m)
+		for i := range sources {
+			sources[i] = graph.NodeID(rng.Intn(n))
+		}
+		opts := RWROptions{Restart: 0.05 + 0.9*rng.Float64(), MaxIter: 40, Shards: 1}
+
+		want, err := RWRSet(nodeCentricOnly{csr}, sources, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{2, 3, 4, 8} {
+			sopts := opts
+			sopts.Shards = shards
+			for name, adj := range map[string]graph.Adjacency{"csr": csr, "paged": paged} {
+				got, err := RWRSet(adj, sources, sopts)
+				if err != nil {
+					t.Fatalf("trial %d %s shards=%d: %v", trial, name, shards, err)
+				}
+				for v := range want {
+					if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+						t.Fatalf("trial %d %s shards=%d node %d: %v != %v",
+							trial, name, shards, v, got[v], want[v])
+					}
+				}
+			}
+		}
+		if err := paged.Err(); err != nil {
+			t.Fatalf("trial %d: paged fault: %v", trial, err)
+		}
+	}
+}
+
+// TestRWRMultiShardedBitIdentical: the two parallelism axes compose —
+// worker fan-out across sources (which forces inner solves serial) and
+// sweep sharding within a single-source solve both stay bit-identical to
+// the fully serial baseline, in every combination.
+func TestRWRMultiShardedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	g := randomConnected(rng, 180, 650)
+	csr := graph.ToCSR(g)
+	paged := pagedFixture(t, g, 16)
+	sources := []graph.NodeID{2, 40, 90, 140, 179}
+	base := RWROptions{MaxIter: 50}
+
+	want, err := RWRMulti(nodeCentricOnly{csr}, sources, optsWithParallel(base, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 4} {
+		for _, shards := range []int{1, 2, 4} {
+			opts := optsWithParallel(base, par)
+			opts.Shards = shards
+			for name, adj := range map[string]graph.Adjacency{"csr": csr, "paged": paged} {
+				got, err := RWRMulti(adj, sources, opts)
+				if err != nil {
+					t.Fatalf("%s parallel=%d shards=%d: %v", name, par, shards, err)
+				}
+				for i := range want {
+					for v := range want[i] {
+						if math.Float64bits(got[i][v]) != math.Float64bits(want[i][v]) {
+							t.Fatalf("%s parallel=%d shards=%d source %d node %d: %v != %v",
+								name, par, shards, i, v, got[i][v], want[i][v])
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -142,3 +142,5 @@ var _ Adjacency = (*CSR)(nil)
 var _ NeighborLister = (*CSR)(nil)
 var _ EdgeSweeper = (*CSR)(nil)
 var _ NeighborIDSweeper = (*CSR)(nil)
+var _ EdgeOffsetter = (*CSR)(nil)
+var _ SweepShardViewer = (*CSR)(nil)

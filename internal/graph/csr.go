@@ -119,6 +119,23 @@ func (c *CSR) SweepNeighborIDs(lo, hi NodeID, fn func(u NodeID, nbrs []NodeID) b
 	return nil
 }
 
+// EdgeOffset returns the half-edge prefix offset Xadj[u]
+// (graph.EdgeOffsetter) — the degree-balanced shard splitter reads it; an
+// in-memory CSR cannot fault.
+func (c *CSR) EdgeOffset(u NodeID) (int, bool) { return int(c.Xadj[u]), true }
+
+// SweepShardViews implements graph.SweepShardViewer: an immutable CSR is
+// already safe for any number of concurrent sweeping goroutines, so every
+// shard view is the CSR itself and release is a no-op (there is no paging
+// economy to partition).
+func (c *CSR) SweepShardViews(k int) ([]EdgeSweeper, func(), error) {
+	views := make([]EdgeSweeper, k)
+	for i := range views {
+		views[i] = c
+	}
+	return views, func() {}, nil
+}
+
 // Degree returns the number of stored half-edges at u.
 func (c *CSR) Degree(u NodeID) int { return int(c.Xadj[u+1] - c.Xadj[u]) }
 

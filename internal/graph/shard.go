@@ -1,0 +1,412 @@
+package graph
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the sharding substrate of the whole-graph kernels: split
+// [0, N) into contiguous degree-balanced node ranges, sweep every range on
+// its own goroutine through SweepEdges, and merge per-shard contribution
+// logs back into a dense vector in EXACTLY the order the serial sweep
+// would have applied them. Floating-point addition is not associative, so
+// "sum the partial vectors" would change low-order bits and break the
+// bit-identity contract the sweep-equivalence property tests pin; the
+// ordered replay below is what keeps a sharded PageRank/RWR solve
+// indistinguishable from the serial one, down to the last ulp.
+
+// ShardRange is one contiguous node range [Lo, Hi) of a sharded sweep.
+type ShardRange struct {
+	Lo, Hi NodeID
+}
+
+// EdgeOffsetter is an optional Adjacency fast path exposing the CSR
+// half-edge prefix offsets (Xadj): EdgeOffset(u) is the number of stored
+// half-edges of all nodes before u, for u in [0, N]. It is what lets
+// ShardRanges balance shards by half-edge count instead of naive N/k —
+// one hub node can carry more edges than thousands of leaves, and a
+// node-count split would leave the hub's shard doing all the work.
+// A paged implementation that faults returns ok=false (and latches the
+// fault on its epoch); the splitter then falls back to the uniform split,
+// which is still correct, just unbalanced.
+type EdgeOffsetter interface {
+	EdgeOffset(u NodeID) (offset int, ok bool)
+}
+
+// SweepShardViewer is an EdgeSweeper that can hand out per-shard views of
+// itself for one concurrent range-sharded sweep. views[i] must only be
+// used by shard i (each view is safe for the usual concurrent use, but
+// per-shard accounting assumes one sweeping goroutine per view). On the
+// in-memory CSR the views are the CSR itself; the paged implementation
+// carves one buffer-pool partition per shard out of the calling query's
+// quota, so parallel shards pin through private reservations and cannot
+// evict each other's decode windows. release must be called exactly once
+// when the sweeps are done — it closes the per-shard partitions and folds
+// their pin/hit/miss counters back into the query's partition, keeping
+// the query-level trace totals whole.
+type SweepShardViewer interface {
+	EdgeSweeper
+	SweepShardViews(k int) (views []EdgeSweeper, release func(), err error)
+}
+
+// MinAutoShardEdges gates automatic sharding (Shards option 0): a graph
+// with fewer stored half-edges than this solves serially even at high
+// GOMAXPROCS, because goroutine fan-out and merge overhead dominate
+// sub-millisecond sweeps. Explicit Shards >= 2 bypasses the gate (tests
+// shard tiny graphs on purpose).
+const MinAutoShardEdges = 8192
+
+// EffectiveSweepShards resolves a kernel Shards option against adj:
+// 0 = auto (GOMAXPROCS, gated by MinAutoShardEdges), 1 or negative =
+// serial, >= 2 = exactly that many shards (clamped to N by ShardRanges).
+func EffectiveSweepShards(adj Adjacency, shards int) int {
+	switch {
+	case shards == 1 || shards < 0:
+		return 1
+	case shards >= 2:
+		return shards
+	}
+	k := runtime.GOMAXPROCS(0)
+	if k <= 1 || adj.HalfEdges() < MinAutoShardEdges {
+		return 1
+	}
+	return k
+}
+
+// ShardRanges splits [0, N) into at most k contiguous non-empty ranges
+// balanced by half-edge count via the EdgeOffsetter prefix offsets (the
+// in-memory CSR serves Xadj directly; the paged CSR pages the offsets in,
+// a handful of binary-search probes per boundary). Without an offsetter —
+// or when a paged probe faults — the split degrades to uniform node
+// ranges, which changes balance but never correctness.
+//
+// Guarantees (the satellite bugfix contract): boundaries are strictly
+// increasing, so no empty or reversed range is ever emitted; k > N
+// clamps to N single-node ranges; a zero-degree tail (isolated nodes at
+// the top of the id space, common after Dedup) stays attached to the
+// last range instead of producing k-1 empty ranges after the offsets
+// plateau at HalfEdges.
+func ShardRanges(adj Adjacency, k int) []ShardRange {
+	n := adj.N()
+	if n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k <= 1 {
+		return []ShardRange{{0, NodeID(n)}}
+	}
+	bounds := make([]int, 1, k+1)
+	if off, ok := adj.(EdgeOffsetter); ok && adj.HalfEdges() > 0 {
+		h := adj.HalfEdges()
+		balanced := true
+		for i := 1; i < k && balanced; i++ {
+			// Smallest u in [prev, n] whose prefix offset reaches the i-th
+			// equal half-edge slice. Monotonicity of the prefix keeps the
+			// bounds non-decreasing; the dedup below drops collisions
+			// (degenerate hubs) instead of emitting empty ranges.
+			u, ok := searchEdgeOffset(off, bounds[len(bounds)-1], n, h*i/k)
+			if !ok {
+				balanced = false
+				break
+			}
+			if u > bounds[len(bounds)-1] && u < n {
+				bounds = append(bounds, u)
+			}
+		}
+		if !balanced {
+			bounds = bounds[:1]
+		}
+	}
+	if len(bounds) == 1 {
+		// Uniform fallback: no offsets (or a paged probe faulted). k <= n
+		// keeps every range non-empty.
+		for i := 1; i < k; i++ {
+			if b := i * n / k; b > bounds[len(bounds)-1] {
+				bounds = append(bounds, b)
+			}
+		}
+	}
+	bounds = append(bounds, n)
+	ranges := make([]ShardRange, len(bounds)-1)
+	for i := range ranges {
+		ranges[i] = ShardRange{NodeID(bounds[i]), NodeID(bounds[i+1])}
+	}
+	return ranges
+}
+
+// searchEdgeOffset binary-searches the smallest u in [lo, hi] with
+// EdgeOffset(u) >= target. ok=false reports a faulted probe (paged read
+// error, already latched on the backend's epoch).
+func searchEdgeOffset(off EdgeOffsetter, lo, hi, target int) (int, bool) {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		o, ok := off.EdgeOffset(NodeID(mid))
+		if !ok {
+			return 0, false
+		}
+		if o < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, true
+}
+
+// ParallelSweepEdges runs one range-sharded sweep: shard s sweeps
+// ranges[s] through views[s] on its own goroutine, emitting every row to
+// fn with its shard index. fn must be safe for concurrent calls with
+// distinct shard values; rows obey the usual SweepEdges aliasing contract
+// per shard. fn returning false stops every shard and the call returns
+// nil, exactly like a serial early stop.
+//
+// Fault semantics (pinned by the fault-injection tests): a failing shard
+// flips the shared stop flag, so sibling sweeps cancel at their next row
+// via the callback-false path — cleanly, without touching their own fault
+// epochs — and after all shards drain, the error of the LOWEST-indexed
+// failing shard is returned. That deterministic winner is what keeps "the
+// same fault produces the same error" true under arbitrary goroutine
+// scheduling; with one injected fault the backend epoch bumps exactly
+// once. A panicking callback is captured and re-raised on the caller,
+// matching the serial path's panic behavior.
+func ParallelSweepEdges(views []EdgeSweeper, ranges []ShardRange, fn func(shard int, u NodeID, nbrs []NodeID, w []float64) bool) error {
+	if len(views) != len(ranges) {
+		return fmt.Errorf("graph: sharded sweep got %d views for %d ranges", len(views), len(ranges))
+	}
+	if len(ranges) == 1 {
+		return views[0].SweepEdges(ranges[0].Lo, ranges[0].Hi, func(u NodeID, nbrs []NodeID, w []float64) bool {
+			return fn(0, u, nbrs, w)
+		})
+	}
+	var stop atomic.Bool
+	errs := make([]error, len(ranges))
+	panics := make([]any, len(ranges))
+	var wg sync.WaitGroup
+	for s := range ranges {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[s] = r
+					stop.Store(true)
+				}
+			}()
+			errs[s] = views[s].SweepEdges(ranges[s].Lo, ranges[s].Hi, func(u NodeID, nbrs []NodeID, w []float64) bool {
+				if stop.Load() {
+					return false
+				}
+				if !fn(s, u, nbrs, w) {
+					stop.Store(true)
+					return false
+				}
+				return true
+			})
+			if errs[s] != nil {
+				stop.Store(true)
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParallelSweepNeighborIDs is ParallelSweepEdges for ids-only sweeps
+// (structure reports), with identical stop/fault/panic semantics.
+func ParallelSweepNeighborIDs(views []NeighborIDSweeper, ranges []ShardRange, fn func(shard int, u NodeID, nbrs []NodeID) bool) error {
+	if len(views) != len(ranges) {
+		return fmt.Errorf("graph: sharded sweep got %d views for %d ranges", len(views), len(ranges))
+	}
+	if len(ranges) == 1 {
+		return views[0].SweepNeighborIDs(ranges[0].Lo, ranges[0].Hi, func(u NodeID, nbrs []NodeID) bool {
+			return fn(0, u, nbrs)
+		})
+	}
+	var stop atomic.Bool
+	errs := make([]error, len(ranges))
+	panics := make([]any, len(ranges))
+	var wg sync.WaitGroup
+	for s := range ranges {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[s] = r
+					stop.Store(true)
+				}
+			}()
+			errs[s] = views[s].SweepNeighborIDs(ranges[s].Lo, ranges[s].Hi, func(u NodeID, nbrs []NodeID) bool {
+				if stop.Load() {
+					return false
+				}
+				if !fn(s, u, nbrs) {
+					stop.Store(true)
+					return false
+				}
+				return true
+			})
+			if errs[s] != nil {
+				stop.Store(true)
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PushAcc is the private accumulator of a sharded push kernel, built for
+// one property: the merged vector is bit-identical to the serial sweep's
+// left-fold. Each shard appends its (target, contribution) pairs into
+// bins keyed by target range; because shards cover contiguous ascending
+// source ranges and append in emission order, concatenating one target's
+// bins in shard order replays that target's contributions in exactly the
+// ascending-source order the serial `next[v] += x` loop used. Merge then
+// folds each target bin on its own goroutine — targets are disjoint
+// across bins, so the merge parallelizes without changing any per-target
+// fold order.
+//
+// The bins are reused across iterations (Reset keeps capacity), so a
+// power-iteration solve allocates the O(E) contribution log once and the
+// steady-state shard loop appends without growing — the AllocsPerRun
+// guard pins that. The log trades O(E) resident memory for all-core
+// sweeps; Shards=1 remains the escape hatch where the strict
+// pool-bounded-memory story matters more than wall-clock.
+type PushAcc struct {
+	n      int
+	shards int
+	tShift uint // target bin of v is int(v) >> tShift
+	tBins  int
+	bins   []contribBin // bins[s*tBins+t]: shard s's contributions to target bin t
+}
+
+// contribBin is one (shard, target-range) contribution log, parallel
+// slices rather than a struct slice to avoid padding 12 bytes to 16.
+type contribBin struct {
+	v []int32
+	x []float64
+}
+
+// NewPushAcc sizes an accumulator for n targets and the given shard
+// count. Target bins are uniform power-of-two ranges with at most
+// `shards` bins, so the merge phase has the same parallel width as the
+// sweep phase.
+func NewPushAcc(n, shards int) *PushAcc {
+	if shards < 1 {
+		shards = 1
+	}
+	a := &PushAcc{n: n, shards: shards}
+	for (n+(1<<a.tShift)-1)>>a.tShift > shards {
+		a.tShift++
+	}
+	a.tBins = (n + (1 << a.tShift) - 1) >> a.tShift
+	if a.tBins < 1 {
+		a.tBins = 1
+	}
+	a.bins = make([]contribBin, shards*a.tBins)
+	return a
+}
+
+// Reset truncates every bin, keeping capacity for the next iteration.
+func (a *PushAcc) Reset() {
+	for i := range a.bins {
+		a.bins[i].v = a.bins[i].v[:0]
+		a.bins[i].x = a.bins[i].x[:0]
+	}
+}
+
+// AddRow appends one source row's contributions scale*ws[i] to targets
+// nbrs[i], in row order, on behalf of shard. It reads only elements of
+// the sweep row (never retains the slices), and appends into the
+// accumulator's own bins — amortized growth against the previous
+// iteration's capacity, nothing per node in steady state.
+//
+//gmine:hotpath
+func (a *PushAcc) AddRow(shard int, nbrs []NodeID, ws []float64, scale float64) {
+	base := shard * a.tBins
+	for i, v := range nbrs {
+		t := base + int(v)>>a.tShift
+		a.bins[t].v = append(a.bins[t].v, int32(v))
+		a.bins[t].x = append(a.bins[t].x, scale*ws[i])
+	}
+}
+
+// Add appends a single contribution x to target v on behalf of shard
+// (the RWR dangling-restart path, where targets are the source set, not
+// the row).
+//
+//gmine:hotpath
+func (a *PushAcc) Add(shard int, v NodeID, x float64) {
+	t := shard*a.tBins + int(v)>>a.tShift
+	a.bins[t].v = append(a.bins[t].v, int32(v))
+	a.bins[t].x = append(a.bins[t].x, x)
+}
+
+// Merge folds the logged contributions into next, one goroutine per
+// target bin. Each target v is initialized to init[v] (or initConst when
+// init is nil) and then receives its contributions in ascending-source
+// order — the exact serial fold. next must have length n.
+func (a *PushAcc) Merge(next, init []float64, initConst float64) {
+	if a.tBins == 1 || a.n == 0 {
+		a.mergeBin(0, next, init, initConst)
+		return
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < a.tBins; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			a.mergeBin(t, next, init, initConst)
+		}(t)
+	}
+	wg.Wait()
+}
+
+// mergeBin replays target bin t: initialize the bin's target range, then
+// apply every shard's log for t in shard order, each in append order.
+//
+//gmine:hotpath
+func (a *PushAcc) mergeBin(t int, next, init []float64, initConst float64) {
+	lo := t << a.tShift
+	hi := lo + 1<<a.tShift
+	if hi > a.n {
+		hi = a.n
+	}
+	if init != nil {
+		copy(next[lo:hi], init[lo:hi])
+	} else {
+		for i := lo; i < hi; i++ {
+			next[i] = initConst
+		}
+	}
+	for s := 0; s < a.shards; s++ {
+		b := &a.bins[s*a.tBins+t]
+		for i, v := range b.v {
+			next[v] += b.x[i]
+		}
+	}
+}

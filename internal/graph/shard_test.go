@@ -1,0 +1,479 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// shardTestGraph builds a CSR with hubs (skewed degrees, so the balanced
+// split differs from the uniform one) and an isolated tail of zero-degree
+// nodes (the offset plateau the splitter must not turn into empty ranges).
+func shardTestGraph(t *testing.T, n, m, hubs int, seed int64) *CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := NewWithNodes(n, false)
+	conn := n - n/4 // last quarter stays isolated
+	if conn < 2 {
+		conn = n
+	}
+	for h := 0; h < hubs && h < conn; h++ {
+		hub := NodeID(h * 11 % conn)
+		for i := 0; i < conn/2; i++ {
+			g.AddEdge(hub, NodeID(rng.Intn(conn)), rng.Float64()*10+0.1)
+		}
+	}
+	for i := 0; i < m; i++ {
+		g.AddEdge(NodeID(rng.Intn(conn)), NodeID(rng.Intn(conn)), rng.Float64()*10+0.1)
+	}
+	g.Dedup()
+	return ToCSR(g)
+}
+
+// checkRanges asserts the splitter contract: contiguous, strictly
+// increasing, non-empty ranges exactly covering [0, n), at most k of them.
+func checkRanges(t *testing.T, ranges []ShardRange, n, k int) {
+	t.Helper()
+	if n == 0 {
+		if ranges != nil {
+			t.Fatalf("empty graph produced ranges %v", ranges)
+		}
+		return
+	}
+	if len(ranges) == 0 || len(ranges) > k {
+		t.Fatalf("got %d ranges for k=%d", len(ranges), k)
+	}
+	if ranges[0].Lo != 0 || ranges[len(ranges)-1].Hi != NodeID(n) {
+		t.Fatalf("ranges %v do not cover [0,%d)", ranges, n)
+	}
+	for i, r := range ranges {
+		if r.Lo >= r.Hi {
+			t.Fatalf("range %d is empty or reversed: %v", i, r)
+		}
+		if i > 0 && ranges[i-1].Hi != r.Lo {
+			t.Fatalf("ranges %d and %d not contiguous: %v", i-1, i, ranges)
+		}
+	}
+}
+
+// noOffsets hides the EdgeOffsetter fast path, forcing the uniform split.
+type noOffsets struct{ Adjacency }
+
+// TestShardRangesInvariants drives the splitter over skewed graphs and
+// shard counts, including k > n and hub-degenerate shapes where several
+// boundary probes collide and must be deduped, never emitted empty.
+func TestShardRangesInvariants(t *testing.T) {
+	cases := []struct{ n, m, hubs int }{
+		{1, 0, 0}, {2, 1, 0}, {7, 3, 0}, {50, 0, 0}, // tiny / all-isolated
+		{200, 600, 0}, {200, 600, 2}, {400, 50, 1}, // skew: one hub dominates
+		{1000, 4000, 3},
+	}
+	for ci, cs := range cases {
+		c := shardTestGraph(t, cs.n, cs.m, cs.hubs, int64(ci+1))
+		for _, k := range []int{1, 2, 3, 4, 7, 16, cs.n + 5} {
+			ranges := ShardRanges(c, k)
+			checkRanges(t, ranges, c.N(), k)
+			uranges := ShardRanges(noOffsets{c}, k)
+			checkRanges(t, uranges, c.N(), k)
+		}
+	}
+}
+
+// TestShardRangesZeroDegreeTail: the balanced boundaries all land below
+// the isolated tail (the prefix offsets plateau at HalfEdges there), and
+// the tail rides along with the last range instead of spawning empties.
+func TestShardRangesZeroDegreeTail(t *testing.T) {
+	g := NewWithNodes(100, false)
+	for i := 0; i < 40; i++ { // edges only among the first 50 nodes
+		g.AddEdge(NodeID(i%50), NodeID((i*7+1)%50), 1.0)
+	}
+	g.Dedup()
+	c := ToCSR(g)
+	ranges := ShardRanges(c, 4)
+	checkRanges(t, ranges, 100, 4)
+	last := ranges[len(ranges)-1]
+	if last.Hi != 100 || last.Lo >= 51 {
+		t.Fatalf("zero-degree tail split badly: %v", ranges)
+	}
+}
+
+// TestShardRangesClamp: k > N clamps to at most N ranges (exactly N on
+// the uniform split; the balanced split may merge colliding boundaries,
+// but never emits an empty range); the empty graph yields no ranges.
+func TestShardRangesClamp(t *testing.T) {
+	c := shardTestGraph(t, 3, 4, 0, 9)
+	checkRanges(t, ShardRanges(c, 8), 3, 8)
+	uniform := ShardRanges(noOffsets{c}, 8)
+	checkRanges(t, uniform, 3, 8)
+	if len(uniform) != 3 {
+		t.Fatalf("uniform k=8 over n=3: %d ranges, want 3 single-node ranges", len(uniform))
+	}
+	empty := ToCSR(NewWithNodes(0, false))
+	if r := ShardRanges(empty, 4); r != nil {
+		t.Fatalf("empty graph produced %v", r)
+	}
+}
+
+// TestShardRangesBalanced: on a hub-free uniform graph the edge-balanced
+// boundaries keep every shard within a loose factor of the mean load —
+// the property that makes sharding by Xadj worth the probes.
+func TestShardRangesBalanced(t *testing.T) {
+	c := shardTestCSRUniform(t, 2000, 12000, 21)
+	const k = 4
+	ranges := ShardRanges(c, k)
+	checkRanges(t, ranges, c.N(), k)
+	mean := c.HalfEdges() / len(ranges)
+	for _, r := range ranges {
+		load := int(c.Xadj[r.Hi] - c.Xadj[r.Lo])
+		if load > 2*mean+int(maxDegree(c)) {
+			t.Fatalf("range %v carries %d half-edges, mean %d", r, load, mean)
+		}
+	}
+}
+
+func shardTestCSRUniform(t *testing.T, n, m int, seed int64) *CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := NewWithNodes(n, false)
+	for i := 0; i < m; i++ {
+		g.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)), rng.Float64()+0.1)
+	}
+	g.Dedup()
+	return ToCSR(g)
+}
+
+func maxDegree(c *CSR) int32 {
+	var max int32
+	for u := 0; u < c.N(); u++ {
+		if d := c.Xadj[u+1] - c.Xadj[u]; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TestEffectiveSweepShards pins the option semantics: 1/negative force
+// serial, >= 2 is taken literally (tests shard tiny graphs on purpose),
+// and auto (0) stays serial below the MinAutoShardEdges gate.
+func TestEffectiveSweepShards(t *testing.T) {
+	small := shardTestGraph(t, 50, 60, 0, 5) // well under the auto gate
+	for _, tc := range []struct{ in, want int }{{1, 1}, {-3, 1}, {2, 2}, {9, 9}} {
+		if got := EffectiveSweepShards(small, tc.in); got != tc.want {
+			t.Fatalf("EffectiveSweepShards(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got := EffectiveSweepShards(small, 0); got != 1 {
+		t.Fatalf("auto on a tiny graph = %d, want 1 (gate)", got)
+	}
+	if runtime.GOMAXPROCS(0) > 1 {
+		big := shardTestGraph(t, 2000, MinAutoShardEdges, 2, 6)
+		if big.HalfEdges() >= MinAutoShardEdges {
+			if got := EffectiveSweepShards(big, 0); got != runtime.GOMAXPROCS(0) {
+				t.Fatalf("auto on a big graph = %d, want GOMAXPROCS", got)
+			}
+		}
+	}
+}
+
+// TestParallelSweepEdgesMatchesSerial: concatenating the shard emissions
+// in range order reproduces the serial sweep rows exactly — ids, weights
+// (bit for bit) and per-shard ascending order.
+func TestParallelSweepEdgesMatchesSerial(t *testing.T) {
+	c := shardTestGraph(t, 300, 900, 2, 7)
+	type row struct {
+		u  NodeID
+		vs []NodeID
+		ws []float64
+	}
+	collect := func(k int) []row {
+		ranges := ShardRanges(c, k)
+		views, release, err := c.SweepShardViews(len(ranges))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer release()
+		perShard := make([][]row, len(ranges))
+		if err := ParallelSweepEdges(views, ranges, func(shard int, u NodeID, nbrs []NodeID, ws []float64) bool {
+			perShard[shard] = append(perShard[shard], row{u, append([]NodeID(nil), nbrs...), append([]float64(nil), ws...)})
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var all []row
+		for _, rs := range perShard {
+			all = append(all, rs...)
+		}
+		return all
+	}
+	want := collect(1)
+	if len(want) != c.N() {
+		t.Fatalf("serial sweep emitted %d of %d rows", len(want), c.N())
+	}
+	for _, k := range []int{2, 3, 5, 8} {
+		got := collect(k)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d emitted %d rows, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].u != want[i].u || len(got[i].vs) != len(want[i].vs) {
+				t.Fatalf("k=%d row %d: node %d (%d entries), want node %d (%d)",
+					k, i, got[i].u, len(got[i].vs), want[i].u, len(want[i].vs))
+			}
+			for j := range want[i].vs {
+				if got[i].vs[j] != want[i].vs[j] ||
+					math.Float64bits(got[i].ws[j]) != math.Float64bits(want[i].ws[j]) {
+					t.Fatalf("k=%d node %d entry %d differs", k, want[i].u, j)
+				}
+			}
+		}
+	}
+}
+
+// scriptSweeper is a scripted EdgeSweeper for fault-semantics tests: it
+// emits `emit` empty rows starting at lo, then returns fail. If gate is
+// set, rows after the first wait for it to close; if signal is set, it is
+// closed just before fail is returned.
+type scriptSweeper struct {
+	emit    int
+	fail    error
+	gate    <-chan struct{}
+	signal  chan<- struct{}
+	emitted atomic.Int64
+}
+
+func (s *scriptSweeper) SweepEdges(lo, hi NodeID, fn func(NodeID, []NodeID, []float64) bool) error {
+	for i := 0; i < s.emit; i++ {
+		if i == 1 && s.gate != nil {
+			<-s.gate
+		}
+		s.emitted.Add(1)
+		if !fn(lo+NodeID(i), nil, nil) {
+			return nil
+		}
+	}
+	if s.fail != nil && s.signal != nil {
+		close(s.signal)
+	}
+	return s.fail
+}
+
+// TestParallelSweepFirstErrorWins: with two shards failing, the returned
+// error is the LOWEST-indexed shard's regardless of which goroutine
+// faulted first — the deterministic winner the fault discipline promises.
+// Both shards fail before emitting any row, so neither can be cancelled
+// away: both errors are always recorded and index order must decide.
+func TestParallelSweepFirstErrorWins(t *testing.T) {
+	errA, errB := errors.New("shard 1 fault"), errors.New("shard 3 fault")
+	views := []EdgeSweeper{
+		&scriptSweeper{emit: 1},
+		&scriptSweeper{fail: errA},
+		&scriptSweeper{emit: 1},
+		&scriptSweeper{fail: errB},
+	}
+	ranges := []ShardRange{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	for trial := 0; trial < 20; trial++ {
+		err := ParallelSweepEdges(views, ranges, func(int, NodeID, []NodeID, []float64) bool { return true })
+		if !errors.Is(err, errA) {
+			t.Fatalf("trial %d: got %v, want the lowest-indexed shard's error %v", trial, err, errA)
+		}
+	}
+}
+
+// TestParallelSweepErrorCancelsSiblings: shard 1 faults; shard 0 — a long
+// sweep gated to resume only after the fault — must be cancelled through
+// the stop flag instead of running to completion. If cancellation broke,
+// shard 0 would finish all its rows and return ITS error, which (being
+// lower-indexed) would win; seeing shard 1's error proves shard 0 was cut
+// short on the callback-false path, with its own error path never reached.
+func TestParallelSweepErrorCancelsSiblings(t *testing.T) {
+	errSlow, errFault := errors.New("slow shard ran to completion"), errors.New("injected fault")
+	faulted := make(chan struct{})
+	slow := &scriptSweeper{emit: 1 << 20, fail: errSlow, gate: faulted}
+	views := []EdgeSweeper{
+		slow,
+		&scriptSweeper{emit: 1, fail: errFault, signal: faulted},
+	}
+	ranges := []ShardRange{{0, 1 << 20}, {1 << 20, 1<<20 + 1}}
+	err := ParallelSweepEdges(views, ranges, func(int, NodeID, []NodeID, []float64) bool { return true })
+	if !errors.Is(err, errFault) {
+		t.Fatalf("got %v, want the injected fault (sibling not cancelled?)", err)
+	}
+	if n := slow.emitted.Load(); n >= 1<<20 {
+		t.Fatalf("slow shard emitted all %d rows despite the sibling fault", n)
+	}
+}
+
+// TestParallelSweepEarlyStop: fn returning false on any shard stops every
+// shard and the call returns nil, exactly like a serial early stop.
+func TestParallelSweepEarlyStop(t *testing.T) {
+	faulted := make(chan struct{})
+	slow := &scriptSweeper{emit: 1 << 20, fail: errors.New("ran dry"), gate: faulted}
+	stopper := &scriptSweeper{emit: 2}
+	views := []EdgeSweeper{slow, stopper}
+	ranges := []ShardRange{{0, 1 << 20}, {1 << 20, 1<<20 + 2}}
+	var once atomic.Bool
+	err := ParallelSweepEdges(views, ranges, func(shard int, u NodeID, _ []NodeID, _ []float64) bool {
+		if shard == 1 {
+			if once.CompareAndSwap(false, true) {
+				close(faulted)
+			}
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("early stop returned %v, want nil", err)
+	}
+	if n := slow.emitted.Load(); n >= 1<<20 {
+		t.Fatalf("slow shard emitted all %d rows despite the early stop", n)
+	}
+}
+
+// TestParallelSweepPanicPropagates: a panicking callback surfaces on the
+// caller, not on some unrecoverable shard goroutine.
+func TestParallelSweepPanicPropagates(t *testing.T) {
+	views := []EdgeSweeper{&scriptSweeper{emit: 1}, &scriptSweeper{emit: 1}}
+	ranges := []ShardRange{{0, 1}, {1, 2}}
+	defer func() {
+		if r := recover(); r != "shard boom" {
+			t.Fatalf("recovered %v, want the callback panic", r)
+		}
+	}()
+	_ = ParallelSweepEdges(views, ranges, func(shard int, _ NodeID, _ []NodeID, _ []float64) bool {
+		if shard == 1 {
+			panic("shard boom")
+		}
+		return true
+	})
+	t.Fatal("callback panic was swallowed")
+}
+
+// TestParallelSweepViewMismatch: a views/ranges length mismatch is an
+// error before any sweeping starts.
+func TestParallelSweepViewMismatch(t *testing.T) {
+	c := shardTestGraph(t, 10, 20, 0, 8)
+	err := ParallelSweepEdges([]EdgeSweeper{c}, []ShardRange{{0, 5}, {5, 10}},
+		func(int, NodeID, []NodeID, []float64) bool { return true })
+	if err == nil {
+		t.Fatal("mismatched views/ranges accepted")
+	}
+}
+
+// TestPushAccMergeMatchesSerialFold is the heart of the bit-identity
+// argument: for a PageRank-shaped push, the sharded log + ordered replay
+// must reproduce the serial left-fold bit for bit, for any shard count —
+// both with a constant initializer and with an init vector.
+func TestPushAccMergeMatchesSerialFold(t *testing.T) {
+	c := shardTestGraph(t, 400, 1600, 2, 10)
+	n := c.N()
+	rank := make([]float64, n)
+	init := make([]float64, n)
+	rng := rand.New(rand.NewSource(99))
+	for i := range rank {
+		rank[i] = rng.Float64()
+		init[i] = rng.Float64() * 1e-3
+	}
+	scale := func(u NodeID) float64 { return 0.85 * rank[u] / float64(c.Degree(u)+1) }
+
+	// Serial ground truth: ascending-u left-fold.
+	wantConst := make([]float64, n)
+	wantInit := make([]float64, n)
+	for i := range wantConst {
+		wantConst[i] = 0.15 / float64(n)
+	}
+	copy(wantInit, init)
+	if err := c.SweepEdges(0, NodeID(n), func(u NodeID, nbrs []NodeID, ws []float64) bool {
+		s := scale(u)
+		for i, v := range nbrs {
+			wantConst[v] += s * ws[i]
+			wantInit[v] += s * ws[i]
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, k := range []int{1, 2, 3, 4, 8} {
+		ranges := ShardRanges(c, k)
+		acc := NewPushAcc(n, len(ranges))
+		views, release, err := c.SweepShardViews(len(ranges))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for iter := 0; iter < 2; iter++ { // second iteration exercises Reset
+			acc.Reset()
+			if err := ParallelSweepEdges(views, ranges, func(shard int, u NodeID, nbrs []NodeID, ws []float64) bool {
+				acc.AddRow(shard, nbrs, ws, scale(u))
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := make([]float64, n)
+		acc.Merge(got, nil, 0.15/float64(n))
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(wantConst[i]) {
+				t.Fatalf("k=%d const-init node %d: %x want %x", k, i,
+					math.Float64bits(got[i]), math.Float64bits(wantConst[i]))
+			}
+		}
+		acc.Merge(got, init, 0)
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(wantInit[i]) {
+				t.Fatalf("k=%d vec-init node %d: %x want %x", k, i,
+					math.Float64bits(got[i]), math.Float64bits(wantInit[i]))
+			}
+		}
+		release()
+	}
+}
+
+// TestPushAccAdd covers the single-contribution path (the RWR dangling
+// restart): appends through Add replay in the same shard-order discipline.
+func TestPushAccAdd(t *testing.T) {
+	const n = 16
+	acc := NewPushAcc(n, 3)
+	// Shard order must win over call order: shard 2 logs first, then 0.
+	acc.Add(2, 5, 1e-9)
+	acc.Add(0, 5, 1e9)
+	acc.Add(1, 5, 1.0)
+	got := make([]float64, n)
+	acc.Merge(got, nil, 0)
+	want := 0.0
+	for _, x := range []float64{1e9, 1.0, 1e-9} { // shard 0, 1, 2
+		want += x
+	}
+	if math.Float64bits(got[5]) != math.Float64bits(want) {
+		t.Fatalf("replay order broken: %x want %x", math.Float64bits(got[5]), math.Float64bits(want))
+	}
+}
+
+// TestPushAccSteadyStateAllocs is the satellite alloc guard: once the bins
+// have grown to the graph's contribution volume, an iteration's shard loop
+// (Reset + AddRow over every row) allocates NOTHING per node — the log
+// memory is paid once per solve, not once per iteration.
+func TestPushAccSteadyStateAllocs(t *testing.T) {
+	c := shardTestGraph(t, 500, 2500, 2, 12)
+	n := c.N()
+	const k = 4
+	ranges := ShardRanges(c, k)
+	acc := NewPushAcc(n, len(ranges))
+	pass := func() {
+		acc.Reset()
+		for s, r := range ranges {
+			if err := c.SweepEdges(r.Lo, r.Hi, func(u NodeID, nbrs []NodeID, ws []float64) bool {
+				acc.AddRow(s, nbrs, ws, 0.5)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pass() // warm-up: grow the bins once
+	if avg := testing.AllocsPerRun(10, pass); avg != 0 {
+		t.Fatalf("steady-state shard loop allocates %.1f per iteration, want 0", avg)
+	}
+}

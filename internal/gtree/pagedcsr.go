@@ -7,6 +7,7 @@ import (
 	"math"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/storage"
@@ -57,6 +58,12 @@ type PagedCSR struct {
 	edgew     *storage.RunReader
 	nodew     *storage.RunReader
 
+	// pool is the PagePool this view pins through (the store's shared
+	// BufferPool for the base view, a storage.Partition for query views).
+	// SweepShardViews splits it further when it is a Partition, so sharded
+	// sweeps get per-shard reservations carved from the query's quota.
+	pool storage.PagePool
+
 	// sh is shared between a base PagedCSR and all its pool-partition
 	// views: the fault-epoch latch, the weighted-degree cache and the
 	// scratch pools are properties of the underlying file, not of the pool
@@ -68,6 +75,12 @@ type pagedShared struct {
 	mu      sync.Mutex
 	faults  uint64 // total faults observed; queries compare epochs
 	lastErr error
+
+	// sweepShards is the store-level SweepShards knob (0 = auto, 1 =
+	// serial, >= 2 = exact) consumed by the one whole-graph sweep the
+	// backend runs on its own behalf, the WeightedDegrees build. Kernel
+	// sweeps get their shard count from kernel options instead.
+	sweepShards atomic.Int32
 
 	wdegMu sync.Mutex
 	wdeg   []float64 // cached only after a fault-free build
@@ -90,11 +103,13 @@ var _ graph.Adjacency = (*PagedCSR)(nil)
 var _ graph.NeighborLister = (*PagedCSR)(nil)
 var _ graph.EdgeSweeper = (*PagedCSR)(nil)
 var _ graph.NeighborIDSweeper = (*PagedCSR)(nil)
+var _ graph.EdgeOffsetter = (*PagedCSR)(nil)
+var _ graph.SweepShardViewer = (*PagedCSR)(nil)
 
 // newPagedCSR wires the four run readers over the store's buffer pool,
 // validating the section's geometry against the file.
 func newPagedCSR(s *Store) (*PagedCSR, error) {
-	c := &PagedCSR{n: s.graphNodes, halfEdges: s.halfEdges, directed: s.directed, sh: &pagedShared{}}
+	c := &PagedCSR{n: s.graphNodes, halfEdges: s.halfEdges, directed: s.directed, sh: &pagedShared{}, pool: s.pool}
 	var err error
 	if c.xadj, err = storage.NewRunReader(s.pool, s.csrPages[0], 4, s.graphNodes+1); err != nil {
 		return nil, fmt.Errorf("gtree: CSR xadj: %w", err)
@@ -116,7 +131,7 @@ func newPagedCSR(s *Store) (*PagedCSR, error) {
 // scratch pools with c. Both stay safe for concurrent use.
 func (c *PagedCSR) withPool(p storage.PagePool) *PagedCSR {
 	return &PagedCSR{
-		n: c.n, halfEdges: c.halfEdges, directed: c.directed, sh: c.sh,
+		n: c.n, halfEdges: c.halfEdges, directed: c.directed, sh: c.sh, pool: p,
 		xadj:   c.xadj.WithPool(p),
 		adjncy: c.adjncy.WithPool(p),
 		edgew:  c.edgew.WithPool(p),
@@ -205,6 +220,67 @@ func (c *PagedCSR) xrange(u graph.NodeID) (lo, hi int, ok bool) {
 		return 0, 0, false
 	}
 	return lo, hi, true
+}
+
+// EdgeOffset returns the persisted half-edge prefix offset Xadj[u]
+// (graph.EdgeOffsetter), for u in [0, n]. The shard splitter probes it a
+// handful of times per boundary; a paged read fault latches on the epoch
+// and reports ok=false, degrading the splitter to its uniform fallback.
+func (c *PagedCSR) EdgeOffset(u graph.NodeID) (int, bool) {
+	if u < 0 || int(u) > c.n {
+		c.setErr(fmt.Errorf("gtree: CSR offset %d out of range (n=%d)", u, c.n))
+		return 0, false
+	}
+	var buf [4]byte
+	if err := c.xadj.Read(int(u), int(u)+1, buf[:]); err != nil {
+		c.setErr(err)
+		return 0, false
+	}
+	off := int(int32(binary.LittleEndian.Uint32(buf[:])))
+	if off < 0 || off > c.halfEdges {
+		c.setErr(fmt.Errorf("gtree: corrupt CSR xadj offset at %d: %d of %d half-edges", u, off, c.halfEdges))
+		return 0, false
+	}
+	return off, true
+}
+
+// shardViews returns k sweeping views of c for one range-sharded sweep.
+// When c pins through a storage.Partition (the per-query views the engine
+// opens), the partition is Split so every shard pins through a private
+// reservation carved from the query's quota — shards cannot evict each
+// other's decode windows, and the per-shard pin counters survive release
+// as Partition.ShardStats for the trace. Pinning through the bare shared
+// pool (no quota to carve) hands out c itself: sweeps are already safe
+// concurrently, there is just no per-shard protection to grant.
+func (c *PagedCSR) shardViews(k int) ([]*PagedCSR, func()) {
+	part, ok := c.pool.(*storage.Partition)
+	if !ok || k <= 1 {
+		views := make([]*PagedCSR, k)
+		for i := range views {
+			views[i] = c
+		}
+		return views, func() {}
+	}
+	children := part.Split(k)
+	views := make([]*PagedCSR, k)
+	for i := range views {
+		views[i] = c.withPool(children[i])
+	}
+	return views, func() {
+		for _, ch := range children {
+			ch.Close()
+		}
+	}
+}
+
+// SweepShardViews implements graph.SweepShardViewer over shardViews.
+func (c *PagedCSR) SweepShardViews(k int) ([]graph.EdgeSweeper, func(), error) {
+	cs, release := c.shardViews(k)
+	views := make([]graph.EdgeSweeper, len(cs))
+	for i, v := range cs {
+		views[i] = v
+	}
+	return views, release, nil
 }
 
 // Degree returns the number of stored half-edges at u.
@@ -426,6 +502,13 @@ func (c *PagedCSR) sweep(lo, hi int, mode sweepMode, emit func(u int, ids []grap
 		for i := 0; i < cnt; i++ {
 			b.xadj[i] = int32(binary.LittleEndian.Uint32(b.raw[4*i:]))
 		}
+		// The chunk's last offset caps the window read-ahead: reading past
+		// the final node's edges would pin pages this sweep never decodes —
+		// harmless on a full serial pass (the next chunk wants them anyway)
+		// but real waste on a range-sharded sweep, where each shard would
+		// overshoot its range end by up to a whole window and pay the pins
+		// for (and possibly fault on) pages belonging to a sibling's range.
+		edgeCap := int(b.xadj[cnt-1])
 		for u := base; u < nodeHi; u++ {
 			elo, ehi := int(b.xadj[u-base]), int(b.xadj[u-base+1])
 			if elo < 0 || ehi < elo || ehi > c.halfEdges {
@@ -441,7 +524,7 @@ func (c *PagedCSR) sweep(lo, hi int, mode sweepMode, emit func(u int, ids []grap
 			}
 			if elo < winLo || ehi > winHi {
 				var err error
-				if winLo, winHi, err = c.advanceWindow(b, winLo, winHi, elo, ehi, mode); err != nil {
+				if winLo, winHi, err = c.advanceWindow(b, winLo, winHi, elo, ehi, edgeCap, mode); err != nil {
 					return err
 				}
 			}
@@ -466,10 +549,13 @@ func (c *PagedCSR) sweep(lo, hi int, mode sweepMode, emit func(u int, ids []grap
 // block buffers (the page-straddling case: a node's list begins in the
 // previous window) and only the missing suffix is read, so every Adjncy
 // and EdgeW page is pinned once per window that touches it. A list larger
-// than sweepEdgeChunk grows the window to hold it whole.
+// than sweepEdgeChunk grows the window to hold it whole. edgeCap bounds
+// the read-ahead to the edges the sweep will actually emit (the current
+// node-chunk's end), keeping a range-sharded sweep from pinning pages of
+// a sibling shard's range.
 //
 //gmine:hotpath
-func (c *PagedCSR) advanceWindow(b *sweepBufs, winLo, winHi, elo, ehi int, mode sweepMode) (int, int, error) {
+func (c *PagedCSR) advanceWindow(b *sweepBufs, winLo, winHi, elo, ehi, edgeCap int, mode sweepMode) (int, int, error) {
 	if elo >= winLo && elo < winHi {
 		keep := winHi - elo
 		if mode&sweepIDs != 0 {
@@ -485,6 +571,9 @@ func (c *PagedCSR) advanceWindow(b *sweepBufs, winLo, winHi, elo, ehi int, mode 
 	target := winLo + sweepEdgeChunk
 	if target < ehi {
 		target = ehi
+	}
+	if target > edgeCap && edgeCap >= ehi {
+		target = edgeCap
 	}
 	if target > c.halfEdges {
 		target = c.halfEdges
@@ -525,11 +614,19 @@ func (c *PagedCSR) advanceWindow(b *sweepBufs, winLo, winHi, elo, ehi int, mode 
 	return winLo, target, nil
 }
 
+// SetSweepShards sets the shard count of the backend's own
+// WeightedDegrees build (0 = auto-GOMAXPROCS, 1 = serial, >= 2 = exact).
+// Shared across all pool-partition views of the file.
+func (c *PagedCSR) SetSweepShards(k int) { c.sh.sweepShards.Store(int32(k)) }
+
 // WeightedDegrees returns the per-node weighted degree table, computed on
-// first use by one blocked sweep over the Xadj and EdgeW runs and cached
-// for the store's lifetime (the table is O(N), which is resident anyway
-// for every RWR/PageRank solve; it is the O(E) adjacency that stays on
-// disk). A build that hits an I/O fault latches the error and is NOT
+// first use by a blocked sweep over the Xadj and EdgeW runs — sharded
+// across cores when the store's SweepShards knob allows — and cached for
+// the store's lifetime (the table is O(N), which is resident anyway for
+// every RWR/PageRank solve; it is the O(E) adjacency that stays on disk).
+// Each shard folds weights of its own node range into disjoint wdeg
+// entries, so the sharded build is trivially bit-identical to the serial
+// one. A build that hits an I/O fault latches the error and is NOT
 // cached, so the next query retries from the pages instead of serving a
 // half-built table forever. Safe for concurrent use; callers must not
 // mutate the result. Pool-partition views share one cache.
@@ -545,16 +642,57 @@ func (c *PagedCSR) WeightedDegrees() []float64 {
 		sh.wdeg = wdeg
 		return wdeg
 	}
-	if err := c.sweep(0, c.n, sweepW, func(u int, _ []graph.NodeID, ws []float64) bool {
-		var s float64
-		for _, w := range ws {
-			s += w
-		}
-		wdeg[u] = s
-		return true
-	}); err != nil {
+	if err := c.weightedDegreesInto(wdeg); err != nil {
 		return wdeg // fault latched by the sweep; not cached
 	}
 	sh.wdeg = wdeg
 	return wdeg
+}
+
+// weightedDegreesInto runs the weighted-degree build, one weights-only
+// sweep per shard writing its disjoint slice of wdeg. First-shard-error
+// wins: a failing shard flips the stop flag, siblings cancel via the
+// callback-false path without faulting, and the lowest-indexed error is
+// returned (faults were already latched by the failing sweep itself).
+func (c *PagedCSR) weightedDegreesInto(wdeg []float64) error {
+	k := graph.EffectiveSweepShards(c, int(c.sh.sweepShards.Load()))
+	ranges := graph.ShardRanges(c, k)
+	sum := func(view *PagedCSR, lo, hi int, stop *atomic.Bool) error {
+		return view.sweep(lo, hi, sweepW, func(u int, _ []graph.NodeID, ws []float64) bool {
+			if stop != nil && stop.Load() {
+				return false
+			}
+			var s float64
+			for _, w := range ws {
+				s += w
+			}
+			wdeg[u] = s
+			return true
+		})
+	}
+	if len(ranges) <= 1 {
+		return sum(c, 0, c.n, nil)
+	}
+	views, release := c.shardViews(len(ranges))
+	defer release()
+	var stop atomic.Bool
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for s := range ranges {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = sum(views[s], int(ranges[s].Lo), int(ranges[s].Hi), &stop)
+			if errs[s] != nil {
+				stop.Store(true)
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -575,6 +575,16 @@ func (s *Store) PagedCSR() (*PagedCSR, error) {
 	return s.csr, s.csrErr
 }
 
+// SetSweepShards sets the shard count for the store's own whole-graph
+// sweeps (the WeightedDegrees build): 0 = auto-GOMAXPROCS, 1 = serial,
+// >= 2 = exact. Safe before or after the first PagedCSR call; a v1 file
+// (no CSR section) ignores the knob.
+func (s *Store) SetSweepShards(k int) {
+	if csr, err := s.PagedCSR(); err == nil {
+		csr.SetSweepShards(k)
+	}
+}
+
 // PagedCSRPartition returns a view of the store's paged CSR whose page
 // pins go through a dedicated buffer-pool partition of up to frames
 // frames (clamped to the pool's unreserved capacity), plus a release

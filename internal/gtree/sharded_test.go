@@ -1,0 +1,371 @@
+package gtree
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// collectRows runs one range-sharded sweep through views and returns the
+// rows concatenated in range order (deep copies; sweep buffers are only
+// valid inside the callback).
+type sweepRow struct {
+	u  graph.NodeID
+	vs []graph.NodeID
+	ws []float64
+}
+
+func collectRows(t *testing.T, views []graph.EdgeSweeper, ranges []graph.ShardRange) []sweepRow {
+	t.Helper()
+	perShard := make([][]sweepRow, len(ranges))
+	if err := graph.ParallelSweepEdges(views, ranges, func(shard int, u graph.NodeID, nbrs []graph.NodeID, ws []float64) bool {
+		perShard[shard] = append(perShard[shard], sweepRow{u,
+			append([]graph.NodeID(nil), nbrs...), append([]float64(nil), ws...)})
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var all []sweepRow
+	for _, rs := range perShard {
+		all = append(all, rs...)
+	}
+	return all
+}
+
+// TestShardedSweepPartitionViews: shard views carved from a query's pool
+// partition sweep the same rows as the serial sweep, and releasing them
+// folds one pin snapshot per shard back into the parent partition with
+// the quota restored for the query's next solve.
+func TestShardedSweepPartitionViews(t *testing.T) {
+	g := hubGraph(800, 3000, 2, 31)
+	want := graph.ToCSR(g)
+	path := buildAndSave(t, g, 256)
+	s, err := OpenFile(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	view, part, err := s.PagedCSRPartitionView(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer part.Close()
+	quota := part.Stats().Quota
+
+	const k = 3
+	ranges := graph.ShardRanges(view, k)
+	views, release, err := view.SweepShardViews(len(ranges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := collectRows(t, views, ranges)
+	release()
+
+	if len(rows) != want.N() {
+		t.Fatalf("sharded sweep emitted %d of %d rows", len(rows), want.N())
+	}
+	for i, r := range rows {
+		if int(r.u) != i {
+			t.Fatalf("row %d is node %d", i, r.u)
+		}
+		wn, ww := want.Neighbors(r.u)
+		if len(r.vs) != len(wn) {
+			t.Fatalf("node %d: %d entries, want %d", r.u, len(r.vs), len(wn))
+		}
+		for j := range wn {
+			if r.vs[j] != wn[j] || math.Float64bits(r.ws[j]) != math.Float64bits(ww[j]) {
+				t.Fatalf("node %d entry %d differs", r.u, j)
+			}
+		}
+	}
+
+	// release() closed the shard partitions: quota is back with the query
+	// partition, and one pin snapshot per shard survived for the trace.
+	if got := part.Stats().Quota; got != quota {
+		t.Fatalf("quota after release %d, want %d", got, quota)
+	}
+	ss := part.ShardStats()
+	if len(ss) != len(ranges) {
+		t.Fatalf("%d shard snapshots, want %d", len(ss), len(ranges))
+	}
+	var pins uint64
+	for _, st := range ss {
+		pins += st.Hits + st.Misses
+	}
+	if pins == 0 {
+		t.Fatal("shard snapshots recorded no pins")
+	}
+	if err := view.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedWeightedDegreesBitIdentical: the sharded wdeg build (disjoint
+// per-range writes) equals both the in-memory table and the serial paged
+// build bit for bit.
+func TestShardedWeightedDegreesBitIdentical(t *testing.T) {
+	g := hubGraph(700, 2600, 2, 32)
+	want := graph.ToCSR(g).WeightedDegrees()
+	path := buildAndSave(t, g, 256)
+	for _, shards := range []int{1, 3, 5} {
+		s, err := OpenFile(path, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetSweepShards(shards)
+		c, err := s.PagedCSR()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := c.WeightedDegrees()
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d entries, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("shards=%d node %d: %v != %v", shards, i, got[i], want[i])
+			}
+		}
+		if err := c.Err(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		s.Close()
+	}
+}
+
+// TestShardedSweepPinsWithinBound pins the acceptance criterion on paging
+// overhead: a sharded whole-graph sweep may re-pin pages straddling range
+// boundaries and each shard pays its own decode-window re-reads, but the
+// total must stay within 1.3x of the serial sweep's pins.
+func TestShardedSweepPinsWithinBound(t *testing.T) {
+	g := hubGraph(3000, 9000, 2, 34)
+	path := buildAndSave(t, g, 256)
+
+	pinsFor := func(k int) uint64 {
+		s, err := OpenFile(path, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		view, part, err := s.PagedCSRPartitionView(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer part.Close()
+		ranges := graph.ShardRanges(view, k)
+		views, release, err := view.SweepShardViews(len(ranges))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer release()
+		s.ResetPoolStats()
+		if err := graph.ParallelSweepEdges(views, ranges, func(int, graph.NodeID, []graph.NodeID, []float64) bool {
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		st := s.PoolStats()
+		return st.Hits + st.Misses
+	}
+
+	serial := pinsFor(1)
+	if serial == 0 {
+		t.Fatal("serial sweep pinned nothing")
+	}
+	for _, k := range []int{2, 4} {
+		sharded := pinsFor(k)
+		if float64(sharded) > 1.3*float64(serial) {
+			t.Fatalf("k=%d pinned %d pages, serial %d — over the 1.3x bound", k, sharded, serial)
+		}
+	}
+}
+
+// TestShardedSweepFaultInjection corrupts ONE page strictly interior to
+// the second shard's range: the sharded sweep must return the fault
+// (marked ErrPagedRead), the sibling shard must never touch the corrupt
+// page, and the fault epoch must bump EXACTLY once — one injected fault,
+// one epoch, deterministically.
+func TestShardedSweepFaultInjection(t *testing.T) {
+	g := hubGraph(2500, 18000, 2, 33)
+	want := graph.ToCSR(g)
+	n := want.N()
+	const pageSize = 256
+	path := buildAndSave(t, g, pageSize)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numPages := len(clean) / pageSize
+
+	// Find a page the serial sweep actually faults on (CSR-run data, not a
+	// leaf blob), starting from the middle of the file, and record how far
+	// the serial sweep got — the fault lives in the edge lists past maxU.
+	injected := false
+	for page := numPages / 2; page < numPages && !injected; page++ {
+		raw := append([]byte(nil), clean...)
+		raw[page*pageSize+pageSize-1] ^= 0x01
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenFile(path, 64)
+		if err != nil {
+			continue // corrupted resident metadata; not the sweep path
+		}
+		c, err := s.PagedCSR()
+		if err != nil {
+			s.Close()
+			continue
+		}
+		maxU := -1
+		serr := c.SweepEdges(0, graph.NodeID(n), func(u graph.NodeID, _ []graph.NodeID, _ []float64) bool {
+			maxU = int(u)
+			return true
+		})
+		s.Close()
+		if serr == nil {
+			continue // page not on the sweep path; try the next one
+		}
+		// Pick the shard boundary m well before the fault: enough nodes to
+		// clear any straddling Xadj page and enough half-edges to clear the
+		// first shard's trailing decode window (sweepEdgeChunk read-ahead).
+		m := maxU - 200
+		for m > 1 && int(want.Xadj[maxU]-want.Xadj[m]) <= sweepEdgeChunk+256 {
+			m--
+		}
+		if m < 1 {
+			continue // fault too early in the file for a clean margin
+		}
+
+		s2, err := OpenFile(path, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view, part, err := s2.PagedCSRPartitionView(30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		views, release, err := view.SweepShardViews(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranges := []graph.ShardRange{{Lo: 0, Hi: graph.NodeID(m)}, {Lo: graph.NodeID(m), Hi: graph.NodeID(n)}}
+		epoch := view.Faults()
+		perr := graph.ParallelSweepEdges(views, ranges, func(int, graph.NodeID, []graph.NodeID, []float64) bool {
+			return true
+		})
+		if perr == nil {
+			t.Fatalf("page %d: sharded sweep over the corrupted file succeeded", page)
+		}
+		if !errors.Is(perr, ErrPagedRead) {
+			t.Fatalf("page %d: fault not marked ErrPagedRead: %v", page, perr)
+		}
+		if view.ErrSince(epoch) == nil {
+			t.Fatalf("page %d: fault not recorded on the epoch protocol", page)
+		}
+		if got := view.Faults() - epoch; got != 1 {
+			t.Fatalf("page %d: fault epoch bumped %d times, want exactly 1", page, got)
+		}
+		release()
+		part.Close()
+		s2.Close()
+		injected = true
+	}
+	if !injected {
+		t.Fatal("no candidate page produced a usable mid-sweep fault; fix the test geometry")
+	}
+}
+
+// FuzzShardedSweep drives the range-sharded sweep over random graph
+// shapes, page sizes, shard counts and byte corruptions: concatenating
+// the shard emissions must reproduce the in-memory ground truth exactly,
+// or the sweep fails AND surfaces the fault through the epoch protocol —
+// never a partial silent result.
+func FuzzShardedSweep(f *testing.F) {
+	f.Add(int64(1), uint16(60), uint16(250), uint8(0), uint8(2), uint32(0))
+	f.Add(int64(2), uint16(400), uint16(1500), uint8(1), uint8(4), uint32(0))
+	f.Add(int64(3), uint16(90), uint16(0), uint8(0), uint8(3), uint32(0))      // zero-degree everywhere
+	f.Add(int64(4), uint16(150), uint16(900), uint8(2), uint8(2), uint32(800)) // corrupted byte
+	f.Add(int64(5), uint16(50), uint16(5000), uint8(0), uint8(7), uint32(0))   // dense: multi-window
+	f.Fuzz(func(t *testing.T, seed int64, n, m uint16, pageSel, shardSel uint8, corruptAt uint32) {
+		nodes := int(n%2000) + 2
+		edges := int(m % 8000)
+		pageSize := []int{256, 512, 1024}[int(pageSel)%3]
+		k := int(shardSel)%8 + 2
+		g := hubGraph(nodes, edges, int(seed%3), seed)
+		want := graph.ToCSR(g)
+		tree, err := Build(g, BuildOptions{K: 3, Levels: 2})
+		if err != nil {
+			t.Skip()
+		}
+		path := filepath.Join(t.TempDir(), "fzs.gtree")
+		if err := Save(tree, g, path, pageSize); err != nil {
+			t.Skip()
+		}
+		if corruptAt != 0 {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off := int(corruptAt)%(len(raw)-pageSize) + pageSize
+			raw[off] ^= 0xA5
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, err := OpenFile(path, 8)
+		if err != nil {
+			return // corruption reached resident metadata; fine
+		}
+		defer s.Close()
+		view, part, err := s.PagedCSRPartitionView(4)
+		if err != nil {
+			return
+		}
+		defer part.Close()
+		ranges := graph.ShardRanges(view, k) // probes may fault: uniform fallback
+		views, release, err := view.SweepShardViews(len(ranges))
+		if err != nil {
+			return
+		}
+		defer release()
+		epoch := view.Faults()
+		perShard := make([][]sweepRow, len(ranges))
+		err = graph.ParallelSweepEdges(views, ranges, func(shard int, u graph.NodeID, nbrs []graph.NodeID, ws []float64) bool {
+			perShard[shard] = append(perShard[shard], sweepRow{u,
+				append([]graph.NodeID(nil), nbrs...), append([]float64(nil), ws...)})
+			return true
+		})
+		if err != nil {
+			// Failed sharded sweeps must surface through the epoch protocol.
+			if view.ErrSince(epoch) == nil {
+				t.Fatal("sharded sweep error not recorded on the fault epoch")
+			}
+			return
+		}
+		next := 0
+		for _, rows := range perShard {
+			for _, r := range rows {
+				if int(r.u) != next {
+					t.Fatalf("emitted %d, expected %d", r.u, next)
+				}
+				next++
+				wn, ww := want.Neighbors(r.u)
+				if len(r.vs) != len(wn) {
+					t.Fatalf("node %d: %d entries, want %d", r.u, len(r.vs), len(wn))
+				}
+				for i := range wn {
+					if r.vs[i] != wn[i] || math.Float64bits(r.ws[i]) != math.Float64bits(ww[i]) {
+						t.Fatalf("node %d entry %d differs", r.u, i)
+					}
+				}
+			}
+		}
+		if next != view.N() {
+			t.Fatalf("clean sharded sweep emitted %d of %d nodes", next, view.N())
+		}
+	})
+}

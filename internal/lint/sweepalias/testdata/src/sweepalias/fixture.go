@@ -79,6 +79,57 @@ func compliant(c *csr, next []float64) {
 	_ = sum
 }
 
+// pushAcc mirrors the per-shard contribution accumulator the sharded
+// sweeps hand to their worker goroutines: AddRow copies row elements
+// into private logs, so passing the slices through is safe; retaining
+// their headers on the struct is not.
+type pushAcc struct {
+	rows [][]NodeID
+	sum  float64
+}
+
+func (a *pushAcc) AddRow(u NodeID, nbrs []NodeID, w []float64) {
+	for i := range nbrs {
+		a.sum += w[i] * float64(nbrs[i])
+	}
+}
+
+// shardWorkers is the goroutine-captured-accumulator idiom of the
+// sharded whole-graph sweeps: each shard goroutine owns a private
+// accumulator and feeds it rows by value. Nothing here may be flagged.
+func shardWorkers(c *csr, ranges [][2]NodeID) {
+	accs := make([]*pushAcc, len(ranges))
+	done := make(chan int, len(ranges))
+	for s := range ranges {
+		accs[s] = &pushAcc{}
+		go func(s int) {
+			acc := accs[s]
+			_ = c.SweepEdges(ranges[s][0], ranges[s][1], func(u NodeID, nbrs []NodeID, w []float64) bool {
+				acc.AddRow(u, nbrs, w) // element copies into the captured accumulator: safe
+				return true
+			})
+			done <- s
+		}(s)
+	}
+	for range ranges {
+		<-done
+	}
+}
+
+// shardWorkerViolations: the same shape, but the callback retains row
+// headers on (or hands them to a goroutine through) the captured
+// accumulator — the corruption the sharded merge would then replay.
+func shardWorkerViolations(c *csr) {
+	acc := &pushAcc{}
+	go func() {
+		_ = c.SweepEdges(0, 10, func(u NodeID, nbrs []NodeID, w []float64) bool {
+			acc.rows = append(acc.rows, nbrs) // want `row slice stored through acc\.rows`
+			go acc.AddRow(u, nbrs, nil)       // want `row slice captured by a goroutine`
+			return true
+		})
+	}()
+}
+
 func intoViolations(c *csr, ch chan []NodeID) {
 	var nbrs []NodeID
 	var ws []float64

@@ -267,6 +267,12 @@ type CreateSessionRequest struct {
 	// each whole-graph query reserves this many frames that concurrent
 	// queries cannot evict (0 = a quarter of the pool, < 0 = disabled).
 	PoolQuota int `json:"poolQuota"`
+	// SweepShards is the session's shard count for whole-graph sweeps
+	// (PageRank, RWR, structure reports): 0 = auto (one shard per core on
+	// large graphs), 1 = serial, >= 2 = exact. Sharded results are
+	// bit-identical to serial — an execution knob like extract's parallel,
+	// excluded from result cache keys for the same reason.
+	SweepShards int `json:"sweepShards"`
 }
 
 func validName(s string) bool {
@@ -391,7 +397,12 @@ func buildEngine(req CreateSessionRequest, method partition.Method) (*core.Engin
 	switch req.Source {
 	case "synthetic":
 		ds := dblp.Generate(dblp.Config{Scale: req.Scale, Seed: req.Seed})
-		return core.BuildEngine(ds.Graph, cfg)
+		eng, err := core.BuildEngine(ds.Graph, cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetSweepShards(req.SweepShards)
+		return eng, nil
 	case "edges":
 		f, err := os.Open(req.Path)
 		if err != nil {
@@ -403,13 +414,19 @@ func buildEngine(req CreateSessionRequest, method partition.Method) (*core.Engin
 			return nil, err
 		}
 		g.Dedup()
-		return core.BuildEngine(g, cfg)
+		eng, err := core.BuildEngine(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng.SetSweepShards(req.SweepShards)
+		return eng, nil
 	case "gtree":
 		eng, err := core.OpenEngine(req.Path, req.PoolPages)
 		if err != nil {
 			return nil, err
 		}
 		eng.SetPoolQuota(req.PoolQuota)
+		eng.SetSweepShards(req.SweepShards)
 		return eng, nil
 	}
 	return nil, fmt.Errorf("unreachable source %q", req.Source)

@@ -296,6 +296,12 @@ type Partition struct {
 	held   int // resident frames currently owned by this partition
 	stats  Stats
 	closed bool
+	// parent is set on shard partitions carved by Split: closing a child
+	// folds its counters into the parent (and appends a snapshot to the
+	// parent's shardStats), so the parent's totals keep describing the
+	// whole query after its shards finish.
+	parent     *Partition
+	shardStats []PartitionStats
 }
 
 // Partition reserves up to frames frames for a new view. The request is
@@ -332,6 +338,50 @@ func (p *Partition) Get(id PageID) ([]byte, error) {
 //gmine:hotpath
 func (p *Partition) Release(id PageID) { p.bp.Release(id) }
 
+// Split carves k shard partitions out of p's remaining quota, each
+// receiving quota/k frames (p keeps the remainder), so the goroutines of
+// one sharded whole-graph sweep pin through private reservations: a shard
+// churning its slice of the file cannot evict a sibling shard's decode
+// windows, which is the same protection Partition gives concurrent
+// queries, one level down. The children are full partitions — their
+// frames are protected by their own quotas, they appear in Partitions()
+// — but closing one returns its quota to the POOL while folding its
+// counters into p and appending a per-shard snapshot to p.ShardStats, so
+// p's totals still describe the whole query and the per-shard pin
+// distribution survives for the trace. Close the children before p; a
+// k < 1 request and a closed p both yield usable quota-0 children.
+func (p *Partition) Split(k int) []*Partition {
+	if k < 1 {
+		k = 1
+	}
+	bp := p.bp
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	share := 0
+	if !p.closed {
+		share = p.quota / k
+	}
+	children := make([]*Partition, k)
+	for i := range children {
+		c := &Partition{bp: bp, quota: share, parent: p}
+		children[i] = c
+		bp.parts = append(bp.parts, c)
+	}
+	// The reservation moves from p to its children; bp.reserved is
+	// unchanged, so the invariant reserved <= cap-1 keeps holding without
+	// re-clamping.
+	p.quota -= share * k
+	return children
+}
+
+// ShardStats returns the folded per-shard counter snapshots of children
+// carved by Split and since closed, in close order.
+func (p *Partition) ShardStats() []PartitionStats {
+	p.bp.mu.Lock()
+	defer p.bp.mu.Unlock()
+	return append([]PartitionStats(nil), p.shardStats...)
+}
+
 // Close returns the reservation to the pool and demotes the partition's
 // frames to the shared remainder (they stay resident and LRU-ordered, just
 // unprotected). Idempotent.
@@ -343,7 +393,20 @@ func (p *Partition) Close() {
 		return
 	}
 	p.closed = true
-	bp.reserved -= p.quota
+	if p.parent != nil && !p.parent.closed {
+		// A shard partition hands its reservation BACK to the query
+		// partition it was carved from (bp.reserved is unchanged), so the
+		// next sharded solve of the same query re-splits the full quota,
+		// and folds its activity into the parent's totals plus a per-shard
+		// snapshot for the trace's pin distribution.
+		p.parent.quota += p.quota
+		p.parent.shardStats = append(p.parent.shardStats, PartitionStats{Quota: p.quota, Held: p.held, Stats: p.stats})
+		p.parent.stats.Hits += p.stats.Hits
+		p.parent.stats.Misses += p.stats.Misses
+		p.parent.stats.Evictions += p.stats.Evictions
+	} else {
+		bp.reserved -= p.quota
+	}
 	p.quota = 0
 	for _, fr := range bp.frames {
 		if fr.owner == p {

@@ -1,0 +1,173 @@
+package storage
+
+import "testing"
+
+// TestPartitionSplitQuotaAccounting: Split moves quota/k frames into each
+// child (the parent keeps the remainder) WITHOUT touching the pool-level
+// reservation, and closing a child hands its quota back to the parent
+// while folding counters into the parent's totals plus a per-shard
+// snapshot — so one query's trace stays whole across a sharded solve.
+func TestPartitionSplitQuotaAccounting(t *testing.T) {
+	pool, ids := partitionFile(t, 16, 12)
+	parent := pool.Partition(9)
+	defer parent.Close()
+	if got := parent.Stats().Quota; got != 9 {
+		t.Fatalf("parent quota %d, want 9", got)
+	}
+	reserved := pool.Reserved()
+
+	children := parent.Split(4) // 9/4 = 2 each, parent keeps 1
+	for i, c := range children {
+		if got := c.Stats().Quota; got != 2 {
+			t.Fatalf("child %d quota %d, want 2", i, got)
+		}
+	}
+	if got := parent.Stats().Quota; got != 1 {
+		t.Fatalf("parent remainder %d, want 1", got)
+	}
+	if pool.Reserved() != reserved {
+		t.Fatalf("Split changed pool reservation: %d -> %d", reserved, pool.Reserved())
+	}
+
+	// Each shard pins a couple of pages through its own reservation.
+	for i, c := range children {
+		touch(t, c, ids[2*i])
+		touch(t, c, ids[2*i+1])
+	}
+	for i, c := range children {
+		if st := c.Stats(); st.Misses != 2 {
+			t.Fatalf("child %d: %+v, want 2 misses", i, st)
+		}
+		c.Close()
+	}
+
+	// Quota is back with the parent (not the pool), stats are folded.
+	if got := parent.Stats().Quota; got != 9 {
+		t.Fatalf("parent quota after children closed: %d, want 9", got)
+	}
+	if pool.Reserved() != reserved {
+		t.Fatalf("child Close changed pool reservation: %d -> %d", reserved, pool.Reserved())
+	}
+	st := parent.Stats()
+	if st.Hits+st.Misses != 8 {
+		t.Fatalf("parent folded pins %d, want 8: %+v", st.Hits+st.Misses, st)
+	}
+	ss := parent.ShardStats()
+	if len(ss) != 4 {
+		t.Fatalf("ShardStats has %d entries, want 4", len(ss))
+	}
+	for i, s := range ss {
+		if s.Quota != 2 || s.Hits+s.Misses != 2 {
+			t.Fatalf("shard snapshot %d: %+v", i, s)
+		}
+	}
+}
+
+// TestPartitionSplitResplit: because child quota returns to the PARENT, a
+// second sharded solve on the same query partition re-splits the full
+// quota — the AnalyzeGraph shape (report, then PageRank, one partition).
+func TestPartitionSplitResplit(t *testing.T) {
+	pool, _ := partitionFile(t, 8, 8)
+	parent := pool.Partition(6)
+	defer parent.Close()
+	for round := 0; round < 3; round++ {
+		children := parent.Split(3)
+		for i, c := range children {
+			if got := c.Stats().Quota; got != 2 {
+				t.Fatalf("round %d child %d quota %d, want 2", round, i, got)
+			}
+			c.Close()
+		}
+		if got := parent.Stats().Quota; got != 6 {
+			t.Fatalf("round %d: parent quota %d after shards closed, want 6", round, got)
+		}
+	}
+	if got := len(parent.ShardStats()); got != 9 {
+		t.Fatalf("ShardStats accumulated %d snapshots, want 9", got)
+	}
+}
+
+// TestPartitionSplitClosedParent: splitting a closed (or quota-0) parent
+// yields usable quota-0 children — stats-only views that still serve
+// pages through the shared economy and close without corrupting the
+// reservation accounting.
+func TestPartitionSplitClosedParent(t *testing.T) {
+	pool, ids := partitionFile(t, 8, 6)
+	parent := pool.Partition(4)
+	parent.Close()
+	children := parent.Split(2)
+	for i, c := range children {
+		if got := c.Stats().Quota; got != 0 {
+			t.Fatalf("child %d of closed parent has quota %d", i, got)
+		}
+		touch(t, c, ids[i])
+		c.Close()
+	}
+	if pool.Reserved() != 0 {
+		t.Fatalf("reserved %d after everything closed", pool.Reserved())
+	}
+
+	// k < 1 degrades to a single child rather than failing.
+	p2 := pool.Partition(2)
+	defer p2.Close()
+	one := p2.Split(0)
+	if len(one) != 1 {
+		t.Fatalf("Split(0) yielded %d children", len(one))
+	}
+	one[0].Close()
+}
+
+// TestPartitionSplitChildOutlivesParent: a child closed AFTER its parent
+// returns its quota to the pool directly (the parent is gone), so the
+// reservation never leaks even when the close order is wrong.
+func TestPartitionSplitChildOutlivesParent(t *testing.T) {
+	pool, _ := partitionFile(t, 8, 8)
+	parent := pool.Partition(6)
+	children := parent.Split(2) // 3 each, parent keeps 0
+	parent.Close()              // returns only its remainder (0)
+	if got := pool.Reserved(); got != 6 {
+		t.Fatalf("reserved %d after parent close, want 6 (children still hold it)", got)
+	}
+	for _, c := range children {
+		c.Close()
+	}
+	if got := pool.Reserved(); got != 0 {
+		t.Fatalf("reserved %d after children closed, want 0", got)
+	}
+}
+
+// TestPartitionSplitProtectsSiblings: a shard churning cold pages through
+// its own slice of the quota cannot evict a sibling shard's working set
+// while that sibling stays within its reservation — Partition's query-
+// level protection, one level down.
+func TestPartitionSplitProtectsSiblings(t *testing.T) {
+	pool, ids := partitionFile(t, 64, 10)
+	parent := pool.Partition(8)
+	defer parent.Close()
+	children := parent.Split(2) // 4 frames each
+	a, b := children[0], children[1]
+	defer a.Close()
+	defer b.Close()
+
+	// B warms its working set: exactly its quota.
+	working := ids[:4]
+	for _, id := range working {
+		touch(t, b, id)
+	}
+	// A sweeps the rest of the file cold, several passes.
+	for pass := 0; pass < 3; pass++ {
+		for _, id := range ids[4:] {
+			touch(t, a, id)
+		}
+	}
+	if st := a.Stats(); st.Evictions == 0 {
+		t.Fatalf("A's sweep evicted nothing; pool not under pressure: %+v", st)
+	}
+	before := b.Stats()
+	for _, id := range working {
+		touch(t, b, id)
+	}
+	if after := b.Stats(); after.Misses != before.Misses {
+		t.Fatalf("sibling shard evicted B's reserved working set: %d new misses", after.Misses-before.Misses)
+	}
+}
