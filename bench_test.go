@@ -11,6 +11,7 @@ package gmine_test
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -750,6 +751,107 @@ func BenchmarkExtractPagedViaNeighbors(b *testing.B) {
 		if _, err := gmine.ConnectionSubgraphAdj(slow, false, nil, sources, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// zipfSources returns a deterministic generator of 3-source extraction
+// queries whose sources follow a Zipf distribution over the node ids —
+// the skewed interactive workload hot/cold tiering exists for: a few hub
+// authors appear in most queries, the long tail rarely.
+func zipfSources(n int) func() []gmine.NodeID {
+	rng := rand.New(rand.NewSource(benchSeed))
+	zipf := rand.NewZipf(rng, 1.3, 1, uint64(n-1))
+	return func() []gmine.NodeID {
+		srcs := make([]gmine.NodeID, 0, 3)
+		for len(srcs) < 3 {
+			id := gmine.NodeID(zipf.Uint64())
+			dup := false
+			for _, s := range srcs {
+				dup = dup || s == id
+			}
+			if !dup {
+				srcs = append(srcs, id)
+			}
+		}
+		return srcs
+	}
+}
+
+// BenchmarkExtractTieredSkewed is the tiering trajectory point: a
+// Zipf-skewed multi-source extraction stream on the in-memory engine, the
+// plain paged engine, and the tiered engine cold (promoter starts from an
+// empty fragment set) and warmed (32 queries of the same stream ran
+// first, so the hot page runs are already pinned as fragments). pins/op
+// is the buffer-pool traffic per query; frag-hit-ratio is the fraction of
+// row reads served from fragments during the timed loop. The acceptance
+// bound: Tiered/warmed within 2x of MemoryCSR, resident fragment bytes
+// never above the budget.
+func BenchmarkExtractTieredSkewed(b *testing.B) {
+	setup(b)
+	n := benchDS.Graph.NumNodes()
+	opts := gmine.ExtractOptions{Budget: 30}
+	const tierBudget = 4 << 20
+
+	b.Run("MemoryCSR", func(b *testing.B) {
+		next := zipfSources(n)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := benchEng.Extract(next(), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, cfg := range []struct {
+		name   string
+		budget int64
+		warm   bool
+	}{
+		{"Paged", 0, false},
+		{"Tiered/cold", tierBudget, false},
+		{"Tiered/warmed", tierBudget, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			disk, err := gmine.Open(benchTree, 256)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer disk.Close()
+			disk.SetTierBudget(cfg.budget)
+			if cfg.warm {
+				warm := zipfSources(n)
+				for i := 0; i < 32; i++ {
+					if _, err := disk.Extract(warm(), opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			var hits0, misses0 uint64
+			if ti := disk.Store().TierInfo(); ti != nil {
+				hits0, misses0 = ti.Hits, ti.Misses
+			}
+			disk.Store().ResetPoolStats()
+			next := zipfSources(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := disk.Extract(next(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := disk.Store().PoolStats()
+			b.ReportMetric(float64(st.Hits+st.Misses)/float64(b.N), "pins/op")
+			if ti := disk.Store().TierInfo(); ti != nil {
+				if ti.Bytes > tierBudget {
+					b.Fatalf("resident fragment bytes %d exceed budget %d", ti.Bytes, tierBudget)
+				}
+				hits, misses := ti.Hits-hits0, ti.Misses-misses0
+				if hits+misses > 0 {
+					b.ReportMetric(float64(hits)/float64(hits+misses), "frag-hit-ratio")
+				}
+				b.ReportMetric(float64(ti.Promotions), "promotions")
+			}
+		})
 	}
 }
 

@@ -33,6 +33,7 @@ func cmdServe(args []string) error {
 	pool := fs.Int("pool", 0, "buffer-pool pages for the preloaded -tree session (0 = default); bounds resident paged-graph memory")
 	poolQuota := fs.Int("poolquota", 0, "buffer-pool frames each whole-graph query on the preloaded -tree session reserves against eviction by concurrent queries (0 = a quarter of -pool, negative = disabled)")
 	sweepShards := fs.Int("sweepshards", 0, "sweep shards per whole-graph query on the preloaded session (0 = one per core on large graphs, 1 = serial); results are bit-identical for any value")
+	tierBudget := fs.Int64("tierbudget", 0, "byte budget for hot page runs the preloaded -tree session may promote into pinned in-memory CSR fragments (0 = tiering off); results are bit-identical either way")
 	seed := fs.Int64("seed", 1, "seed for the preloaded session")
 	k := fs.Int("k", 5, "hierarchy fanout for preloaded memory sessions")
 	levels := fs.Int("levels", 5, "hierarchy levels for preloaded memory sessions")
@@ -67,7 +68,10 @@ func cmdServe(args []string) error {
 			Seed: *seed, K: *k, Levels: *levels, SweepShards: *sweepShards,
 		}
 	case *tree != "":
-		preload = &server.CreateSessionRequest{Name: *name, Source: "gtree", Path: *tree, PoolPages: *pool, PoolQuota: *poolQuota, SweepShards: *sweepShards}
+		preload = &server.CreateSessionRequest{
+			Name: *name, Source: "gtree", Path: *tree, PoolPages: *pool,
+			PoolQuota: *poolQuota, SweepShards: *sweepShards, TierBudget: *tierBudget,
+		}
 	}
 	if preload != nil {
 		begin := time.Now()

@@ -70,6 +70,12 @@ type Engine struct {
 	// options override it. See SetSweepShards.
 	sweepShards int
 
+	// tierBudget is the hot/cold tiering byte budget of disk-backed
+	// engines: > 0 wraps every whole-graph query's adjacency in a
+	// gtree.TieredCSR whose pinned in-memory fragments stay within the
+	// budget; 0 disables tiering. See SetTierBudget.
+	tierBudget int64
+
 	focus   gtree.TreeID
 	history []gtree.TreeID
 }
@@ -189,6 +195,30 @@ func (e *Engine) SetSweepShards(k int) {
 	}
 }
 
+// SetTierBudget sets the hot/cold tiering byte budget of disk-backed
+// engines (0 = off, the default). With a budget, every whole-graph query
+// solves on a gtree.TieredCSR: node reads and sweep sub-ranges covered
+// by a pinned in-memory CSR fragment are served from memory, the rest
+// pages through the query's pool partition as before — bit-identical
+// results either way. After each query the engine runs one amortized
+// promotion pass, so a skewed workload converges toward memory speed on
+// its working set while resident fragment bytes never exceed the budget.
+// No-op for memory-backed engines (the whole graph is already resident).
+// Not safe to call concurrently with queries; set it right after
+// OpenEngine.
+func (e *Engine) SetTierBudget(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	e.tierBudget = bytes
+	if e.store != nil {
+		e.store.SetTierBudget(bytes)
+	}
+}
+
+// TierBudget returns the configured tiering byte budget (0 = off).
+func (e *Engine) TierBudget() int64 { return e.tierBudget }
+
 // queryAdj returns the adjacency a whole-graph query should solve on and
 // a release function to call when done. Memory-backed engines hand out
 // the shared CSR; disk-backed ones wrap the paged CSR in a per-query
@@ -216,30 +246,49 @@ func (e *Engine) queryAdj(tr *obs.Trace) (graph.Adjacency, func(), error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		if tr == nil {
-			return view, part.Close, nil
+		// With a tier budget, the query solves on the tiered view: reads
+		// covered by a resident fragment skip the pool entirely, the rest
+		// page through this query's partition as before.
+		var adj graph.Adjacency = view
+		var tiered *gtree.TieredCSR
+		if e.tierBudget > 0 {
+			tiered = view.Tiered()
+			adj = tiered
 		}
 		faults0 := view.Faults()
 		release := func() {
-			st := part.Stats()
-			tr.Count("pool.pins", int64(st.Hits+st.Misses))
-			tr.Count("pool.hits", int64(st.Hits))
-			tr.Count("pool.misses", int64(st.Misses))
-			tr.Count("pool.evictions", int64(st.Evictions))
-			tr.Count("pool.quota", int64(st.Quota))
-			tr.Count("pool.held", int64(st.Held))
-			tr.Count("pool.faults", int64(view.Faults()-faults0))
-			// Sharded sweeps carved shard partitions out of this query's
-			// quota (Partition.Split); their folded snapshots are the
-			// query's per-shard pin distribution. Distinct names per shard:
-			// Trace.Count merges duplicates by summing, and the totals are
-			// already whole (the fold added shard activity back into st).
-			for i, ss := range part.ShardStats() {
-				tr.Count(fmt.Sprintf("pool.shard.%d.pins", i), int64(ss.Hits+ss.Misses))
+			if tr != nil {
+				st := part.Stats()
+				tr.Count("pool.pins", int64(st.Hits+st.Misses))
+				tr.Count("pool.hits", int64(st.Hits))
+				tr.Count("pool.misses", int64(st.Misses))
+				tr.Count("pool.evictions", int64(st.Evictions))
+				tr.Count("pool.quota", int64(st.Quota))
+				tr.Count("pool.held", int64(st.Held))
+				tr.Count("pool.faults", int64(view.Faults()-faults0))
+				// Sharded sweeps carved shard partitions out of this query's
+				// quota (Partition.Split); their folded snapshots are the
+				// query's per-shard pin distribution. Distinct names per shard:
+				// Trace.Count merges duplicates by summing, and the totals are
+				// already whole (the fold added shard activity back into st).
+				for i, ss := range part.ShardStats() {
+					tr.Count(fmt.Sprintf("pool.shard.%d.pins", i), int64(ss.Hits+ss.Misses))
+				}
+				if tiered != nil {
+					th, tm := tiered.QueryCounts()
+					tr.Count("tier.hits", th)
+					tr.Count("tier.misses", tm)
+				}
 			}
 			part.Close()
+			// Query-amortized promotion: rank what just got hot and pin it.
+			// Runs after the partition closes — the promoter decodes through
+			// the store's shared pool, never a dead reservation.
+			if tiered != nil {
+				tiered.Promote()
+			}
 		}
-		return view, release, nil
+		return adj, release, nil
 	}
 	adj, err := e.Adj()
 	return adj, func() {}, err
@@ -461,6 +510,16 @@ func (e *Engine) SearchLabelPrefix(prefix string, limit int) ([]LabelHit, error)
 
 // --- Extraction --------------------------------------------------------------
 
+// faultEpocher is the fault-epoch surface of a disk-backed adjacency
+// (gtree.PagedCSR and gtree.TieredCSR both expose it; the tiered view
+// delegates to the paged epoch it shares). withFaultCheck asserts this
+// interface instead of a concrete backend so every current and future
+// paged-flavored adjacency gets the same discipline.
+type faultEpocher interface {
+	Faults() uint64
+	ErrSince(epoch uint64) error
+}
+
 // withFaultCheck runs fn under the paged fault-epoch protocol: a paged
 // adjacency cannot surface I/O faults through the Adjacency methods, it
 // counts them instead, so the bracket snapshots the fault epoch, runs the
@@ -471,7 +530,7 @@ func (e *Engine) SearchLabelPrefix(prefix string, limit int) ([]LabelHit, error)
 // This helper is the single home of the protocol; every whole-graph query
 // path (Extract, PageRank, AnalyzeGraph) must go through it.
 func (e *Engine) withFaultCheck(adj graph.Adjacency, fn func() error) error {
-	paged, isPaged := adj.(*gtree.PagedCSR)
+	paged, isPaged := adj.(faultEpocher)
 	if !isPaged {
 		return fn()
 	}

@@ -54,6 +54,18 @@ type Adjacency interface {
 	//     instance, and never appended to or mutated by the caller —
 	//     feeding a CSR's aliased row into another implementation's append
 	//     would scribble over the graph.
+	//   - A TIERED implementation (gtree.TieredCSR) mixes both regimes
+	//     behind one instance: rows resident in a pinned CSR fragment and
+	//     rows read through the buffer pool. It must therefore COPY
+	//     fragment rows into the caller's buffers on Into-reads — never
+	//     hand out fragment-aliasing slices — because the caller's reuse
+	//     pattern appends the next (possibly paged) row into whatever came
+	//     back, and a fragment can be demoted between calls. Sweep
+	//     callbacks are different: there the rows may alias fragment
+	//     storage directly (cap-clamped), since the sweep contract below
+	//     already forbids the callback from retaining or appending to its
+	//     slices, and the sweep holds one immutable fragment snapshot for
+	//     its whole pass.
 	//
 	// A paged implementation that faults mid-read returns empty slices and
 	// records the fault exactly like Neighbors.

@@ -97,6 +97,12 @@ type pagedShared struct {
 	// (*sweepBufs): one set per concurrent sweep, a few tens of KiB each,
 	// reused across the O(iterations) sweeps of a power-iteration solve.
 	sweeps sync.Pool
+
+	// tier is the hot/cold tiering state (fragment set, budget, promotion
+	// counters) shared by every TieredCSR view of the file — like the
+	// fault epoch, it is a property of the file, not of one query's pool
+	// partition. Dormant (budget 0) until Store.SetTierBudget.
+	tier tierState
 }
 
 var _ graph.Adjacency = (*PagedCSR)(nil)
@@ -123,6 +129,10 @@ func newPagedCSR(s *Store) (*PagedCSR, error) {
 	if c.nodew, err = storage.NewRunReader(s.pool, s.csrPages[3], 4, s.graphNodes); err != nil {
 		return nil, fmt.Errorf("gtree: CSR nodew: %w", err)
 	}
+	// The tiering promoter decodes fragments through the base view (the
+	// shared pool) and ranks the pool's heat counters.
+	c.sh.tier.base = c
+	c.sh.tier.pool = s.pool
 	return c, nil
 }
 

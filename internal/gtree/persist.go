@@ -585,6 +585,32 @@ func (s *Store) SetSweepShards(k int) {
 	}
 }
 
+// SetTierBudget sets the hot/cold tiering byte budget of the store's
+// paged CSR: with a positive budget, TieredCSR views promote hot page
+// runs into pinned in-memory CSR fragments whose resident bytes never
+// exceed it; 0 demotes every fragment and disables tiering. Safe before
+// or after the first PagedCSR call; a v1 file (no CSR section) ignores
+// the knob.
+func (s *Store) SetTierBudget(bytes int64) {
+	if csr, err := s.PagedCSR(); err == nil {
+		csr.sh.tier.setBudget(bytes)
+	}
+}
+
+// TierInfo snapshots the tiering state (nil when the store has no CSR
+// section or tiering was never configured).
+func (s *Store) TierInfo() *TierInfo {
+	csr, err := s.PagedCSR()
+	if err != nil {
+		return nil
+	}
+	ti := csr.sh.tier.info()
+	if ti.Budget == 0 && ti.Promotions == 0 && ti.Demotions == 0 {
+		return nil
+	}
+	return &ti
+}
+
 // PagedCSRPartition returns a view of the store's paged CSR whose page
 // pins go through a dedicated buffer-pool partition of up to frames
 // frames (clamped to the pool's unreserved capacity), plus a release
@@ -664,6 +690,9 @@ type PoolInfo struct {
 	Reserved   int
 	FilePages  uint32
 	Partitions []storage.PartitionStats
+	// Tier is the hot/cold tiering state, nil while tiering is off (no
+	// budget ever set and nothing ever promoted).
+	Tier *TierInfo
 }
 
 // PoolInfo snapshots the buffer pool and file size.
@@ -678,6 +707,7 @@ func (s *Store) PoolInfo() PoolInfo {
 		Reserved:   s.pool.Reserved(),
 		FilePages:  s.pager.NumPages(),
 		Partitions: s.pool.Partitions(),
+		Tier:       s.TierInfo(),
 	}
 }
 

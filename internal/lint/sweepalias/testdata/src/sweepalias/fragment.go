@@ -1,0 +1,68 @@
+package sweepalias
+
+// Fragment-backed sweeps (the hot/cold tiering idiom): a tiered adjacency
+// serves resident node ranges from pinned in-memory CSR fragments, so its
+// sweep callbacks receive rows that are cap-clamped subslices of
+// long-lived fragment arrays instead of recycled block buffers. The
+// aliasing contract is deliberately unchanged — rows are valid only
+// during the callback, because a promotion pass can demote the fragment
+// (and the same callback sees paged block-buffer rows for cold ranges
+// anyway) — so retaining a fragment-backed row header is the same bug and
+// must be flagged the same way.
+type tiered struct {
+	fragIDs []NodeID
+	fragWS  []float64
+	pinned  [][]NodeID
+}
+
+func (t *tiered) SweepEdges(lo, hi NodeID, fn func(u NodeID, nbrs []NodeID, w []float64) bool) error {
+	for u := lo; u < hi; u++ {
+		// Cap-clamped fragment subslices: callees cannot append in place,
+		// but the header still windows the fragment array.
+		if !fn(u, t.fragIDs[0:2:2], t.fragWS[0:2:2]) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (t *tiered) NeighborsInto(u NodeID, nbrBuf []NodeID, wBuf []float64) ([]NodeID, []float64) {
+	return nbrBuf, wBuf
+}
+
+// fragmentViolations: retaining fragment-backed rows is flagged exactly
+// like block-buffer rows — the analyzer keys on the sweep contract, not
+// on where the backing array happens to live.
+func fragmentViolations(t *tiered, ch chan []NodeID) {
+	var hottest []NodeID
+	_ = t.SweepEdges(0, 10, func(u NodeID, nbrs []NodeID, w []float64) bool {
+		hottest = nbrs                    // want `row slice assigned to captured variable hottest`
+		t.pinned = append(t.pinned, nbrs) // want `row slice stored through t\.pinned`
+		ch <- nbrs                        // want `row slice sent on a channel`
+		return true
+	})
+	_ = hottest
+}
+
+// fragmentCompliant: the copy-out patterns every kernel uses stay quiet on
+// fragment-backed rows too — element copies, scalar accumulation, and the
+// append-into-caller-buffer read (which the tiered backend serves by
+// copying fragment elements, never by aliasing them).
+func fragmentCompliant(t *tiered, next []float64) {
+	var sum float64
+	dst := make([]NodeID, 0, 64)
+	_ = t.SweepEdges(0, 10, func(u NodeID, nbrs []NodeID, w []float64) bool {
+		for i, v := range nbrs {
+			next[v] += w[i]
+		}
+		sum += float64(len(nbrs))
+		dst = append(dst, nbrs...) // element copy: safe
+		return true
+	})
+	var nbrs []NodeID
+	var ws []float64
+	nbrs, ws = t.NeighborsInto(3, nbrs[:0], ws[:0]) // locals: compliant
+	_ = nbrs
+	_ = ws
+	_ = sum
+}

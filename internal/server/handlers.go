@@ -180,6 +180,11 @@ type PoolInfo struct {
 	// write-locked (building or deleting); fresh reads omit it.
 	Stale      bool            `json:"stale,omitempty"`
 	Partitions []PartitionInfo `json:"partitions,omitempty"`
+	// Tier reports the hot-tier state of sessions with a fragment budget
+	// set (nil while tiering is off): how many pinned CSR fragments are
+	// resident, the bytes they hold against the budget, and the cumulative
+	// promotion/demotion/hit/miss counters.
+	Tier *gtree.TierInfo `json:"tier,omitempty"`
 }
 
 // PartitionInfo is the wire form of one in-flight query's buffer-pool
@@ -204,6 +209,7 @@ func poolInfoFrom(st *gtree.Store) *PoolInfo {
 		Reserved:  pi.Reserved,
 		FilePages: pi.FilePages,
 		HasCSR:    st.HasCSR(),
+		Tier:      pi.Tier,
 	}
 	for _, p := range pi.Partitions {
 		out.Partitions = append(out.Partitions, PartitionInfo{
@@ -273,6 +279,11 @@ type CreateSessionRequest struct {
 	// bit-identical to serial — an execution knob like extract's parallel,
 	// excluded from result cache keys for the same reason.
 	SweepShards int `json:"sweepShards"`
+	// TierBudget caps the bytes of hot page runs a "gtree" session may
+	// promote into pinned in-memory CSR fragments (0 = tiering off). Like
+	// SweepShards it is an execution knob: tiered reads are bit-identical
+	// to paged ones, only faster on skewed workloads.
+	TierBudget int64 `json:"tierBudget"`
 }
 
 func validName(s string) bool {
@@ -427,6 +438,7 @@ func buildEngine(req CreateSessionRequest, method partition.Method) (*core.Engin
 		}
 		eng.SetPoolQuota(req.PoolQuota)
 		eng.SetSweepShards(req.SweepShards)
+		eng.SetTierBudget(req.TierBudget)
 		return eng, nil
 	}
 	return nil, fmt.Errorf("unreachable source %q", req.Source)

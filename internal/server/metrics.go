@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/gtree"
 	"repro/internal/obs"
 )
 
@@ -141,6 +142,41 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Per-query buffer-pool partitions currently in flight, by session.",
 		"gauge", poolLabels, func(emit func(v float64, labelVals ...string)) {
 			eachPool(emit, func(pi *PoolInfo) float64 { return float64(len(pi.Partitions)) })
+		})
+
+	// Hot-tier families only emit rows for sessions with a fragment budget
+	// set — the Tier pointer is nil while tiering is off, so idle servers
+	// scrape no extra series.
+	eachTier := func(each func(name string, ti *gtree.TierInfo)) {
+		for _, name := range s.reg.names() {
+			sess, ok := s.reg.get(name)
+			if !ok {
+				continue
+			}
+			if pi := sess.poolSnapshot(false); pi != nil && pi.Tier != nil {
+				each(name, pi.Tier)
+			}
+		}
+	}
+	reg.Collect("gmine_tier_resident_bytes",
+		"Bytes of hot page runs pinned as in-memory CSR fragments, by session (budget in gmine_tier_budget_bytes).",
+		"gauge", poolLabels, func(emit func(v float64, labelVals ...string)) {
+			eachTier(func(name string, ti *gtree.TierInfo) { emit(float64(ti.Bytes), name) })
+		})
+	reg.Collect("gmine_tier_budget_bytes",
+		"Configured hot-tier fragment byte budget, by session.",
+		"gauge", poolLabels, func(emit func(v float64, labelVals ...string)) {
+			eachTier(func(name string, ti *gtree.TierInfo) { emit(float64(ti.Budget), name) })
+		})
+	reg.Collect("gmine_tier_ops_total",
+		"Hot-tier operations by session: fragment promotions and demotions, and row reads served from fragments (hit) vs the paged store (miss).",
+		"counter", []string{"session", "op"}, func(emit func(v float64, labelVals ...string)) {
+			eachTier(func(name string, ti *gtree.TierInfo) {
+				emit(float64(ti.Promotions), name, "promotion")
+				emit(float64(ti.Demotions), name, "demotion")
+				emit(float64(ti.Hits), name, "hit")
+				emit(float64(ti.Misses), name, "miss")
+			})
 		})
 	return m
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"sort"
 	"sync"
 )
 
@@ -9,6 +10,28 @@ type Stats struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
+}
+
+// Heat tracking: every Get — hit or miss — bumps a decayed access counter
+// for the page's bucket (runs of 1<<heatShift consecutive pages, so the
+// counters cover node ranges of the fixed-stride CSR runs, not individual
+// pages). Every heatDecayEvery recorded accesses all buckets are halved,
+// so the scores track the recent access mix instead of growing without
+// bound: a region the workload has moved away from cools down within a
+// few decay periods no matter how hot it once was. HotRanges exposes the
+// top-k buckets; the gtree tiering promoter uses them to decide which
+// page runs deserve pinned in-memory CSR fragments.
+const (
+	heatShift      = 3    // pages per heat bucket (8)
+	heatDecayEvery = 8192 // recorded accesses between halvings
+)
+
+// HotRange is one hot page-bucket: Pages consecutive pages starting at
+// First, with the bucket's current decayed access score.
+type HotRange struct {
+	First PageID
+	Pages int
+	Score float64
 }
 
 // PagePool is the page-pinning interface readers (blob, run, leaf) go
@@ -68,6 +91,13 @@ type BufferPool struct {
 	// least one frame stays up for grabs and no requester can starve).
 	reserved int
 	parts    []*Partition // open partitions, creation order
+
+	// heat holds one decayed access counter per run of 1<<heatShift
+	// consecutive pages, sized once at construction from the pager's page
+	// count so the hot Get path never allocates. heatOps counts recorded
+	// accesses toward the next halving.
+	heat    []float64
+	heatOps int
 }
 
 // NewBufferPool wraps pager with a pool holding up to capacity pages.
@@ -79,9 +109,72 @@ func NewBufferPool(pager *Pager, capacity int) *BufferPool {
 		pager:  pager,
 		cap:    capacity,
 		frames: make(map[PageID]*frame, capacity),
+		heat:   make([]float64, int(pager.NumPages())>>heatShift+1),
 	}
 	bp.cond = sync.NewCond(&bp.mu)
 	return bp
+}
+
+// recordHeat charges one access to page id's heat bucket (and the
+// requesting partition's counter), halving all buckets when the decay
+// period rolls over. Caller holds bp.mu. The halving is amortized: O(1)
+// per access, one O(buckets) pass every heatDecayEvery accesses.
+//
+//gmine:hotpath
+func (bp *BufferPool) recordHeat(id PageID, requester *Partition) {
+	b := int(id) >> heatShift
+	if b >= len(bp.heat) {
+		b = len(bp.heat) - 1
+	}
+	if b < 0 {
+		return
+	}
+	bp.heat[b]++
+	if requester != nil {
+		requester.heat++
+	}
+	bp.heatOps++
+	if bp.heatOps >= heatDecayEvery {
+		bp.heatOps = 0
+		for i := range bp.heat {
+			bp.heat[i] /= 2
+		}
+		for _, p := range bp.parts {
+			p.heat /= 2
+		}
+	}
+}
+
+// HotRanges returns the k hottest page buckets by decayed access score,
+// hottest first (ties by page id; buckets with zero score are never
+// returned). The result describes recent access frequency per page run —
+// the signal the tiering promoter ranks candidate CSR fragments by.
+func (bp *BufferPool) HotRanges(k int) []HotRange {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, 0, len(bp.heat))
+	for i, s := range bp.heat {
+		if s > 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if bp.heat[idx[a]] != bp.heat[idx[b]] {
+			return bp.heat[idx[a]] > bp.heat[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	out := make([]HotRange, len(idx))
+	for i, b := range idx {
+		out[i] = HotRange{First: PageID(b << heatShift), Pages: 1 << heatShift, Score: bp.heat[b]}
+	}
+	return out
 }
 
 // lruPushFront marks fr most recently used. Caller holds bp.mu.
@@ -162,6 +255,7 @@ func (bp *BufferPool) get(id PageID, requester *Partition) ([]byte, error) {
 		// frames to a dead reservation; serve it from the shared remainder.
 		requester = nil
 	}
+	bp.recordHeat(id, requester)
 	for {
 		if fr, ok := bp.frames[id]; ok {
 			bp.stats.Hits++
@@ -291,10 +385,14 @@ func (bp *BufferPool) Reserved() int {
 // survive. Close returns the reservation and demotes owned frames to
 // shared; a Partition must not be used after Close.
 type Partition struct {
-	bp     *BufferPool
-	quota  int
-	held   int // resident frames currently owned by this partition
-	stats  Stats
+	bp    *BufferPool
+	quota int
+	held  int // resident frames currently owned by this partition
+	stats Stats
+	// heat is the partition's decayed access counter: one increment per
+	// Get through the view, halved on the pool's global decay ticks — the
+	// per-query share of the pool-wide heat the tiering promoter reads.
+	heat   float64
 	closed bool
 	// parent is set on shard partitions carved by Split: closing a child
 	// folds its counters into the parent (and appends a snapshot to the
@@ -400,10 +498,11 @@ func (p *Partition) Close() {
 		// and folds its activity into the parent's totals plus a per-shard
 		// snapshot for the trace's pin distribution.
 		p.parent.quota += p.quota
-		p.parent.shardStats = append(p.parent.shardStats, PartitionStats{Quota: p.quota, Held: p.held, Stats: p.stats})
+		p.parent.shardStats = append(p.parent.shardStats, PartitionStats{Quota: p.quota, Held: p.held, Heat: p.heat, Stats: p.stats})
 		p.parent.stats.Hits += p.stats.Hits
 		p.parent.stats.Misses += p.stats.Misses
 		p.parent.stats.Evictions += p.stats.Evictions
+		p.parent.heat += p.heat
 	} else {
 		bp.reserved -= p.quota
 	}
@@ -425,9 +524,12 @@ func (p *Partition) Close() {
 }
 
 // PartitionStats snapshots one partition's reservation and counters.
+// Heat is the partition's decayed access counter (see Partition.heat),
+// folded into the parent's snapshot list when a Split child closes.
 type PartitionStats struct {
 	Quota int
 	Held  int // resident frames the partition currently owns
+	Heat  float64
 	Stats
 }
 
@@ -435,7 +537,7 @@ type PartitionStats struct {
 func (p *Partition) Stats() PartitionStats {
 	p.bp.mu.Lock()
 	defer p.bp.mu.Unlock()
-	return PartitionStats{Quota: p.quota, Held: p.held, Stats: p.stats}
+	return PartitionStats{Quota: p.quota, Held: p.held, Heat: p.heat, Stats: p.stats}
 }
 
 // Partitions snapshots the open partitions in creation order — the
@@ -445,7 +547,7 @@ func (bp *BufferPool) Partitions() []PartitionStats {
 	defer bp.mu.Unlock()
 	out := make([]PartitionStats, len(bp.parts))
 	for i, p := range bp.parts {
-		out[i] = PartitionStats{Quota: p.quota, Held: p.held, Stats: p.stats}
+		out[i] = PartitionStats{Quota: p.quota, Held: p.held, Heat: p.heat, Stats: p.stats}
 	}
 	return out
 }
