@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/storage"
 )
 
 // cmdServe runs the long-lived HTTP query/render server. Optionally one
@@ -40,20 +41,32 @@ func cmdServe(args []string) error {
 	grace := fs.Duration("grace", 5*time.Second, "shutdown grace period")
 	debugAddr := fs.String("debug-addr", "", "optional side listener serving net/http/pprof and /metrics (e.g. 127.0.0.1:6060); keep it off the public address")
 	logMode := fs.String("log", "text", "request/server log format: text, json or off")
+	maxInFlight := fs.Int("maxinflight", 0, "max concurrently admitted query requests before shedding with 503 + Retry-After (0 = default 256, negative = unlimited)")
+	chaos := fs.String("chaos", "", `inject transient read faults into disk-backed sessions for resilience testing, e.g. "rate=0.02,seed=1,latency=200us,kinds=flip+err+short" (testing only — never in production)`)
 	fs.Parse(args)
 
 	logger, err := buildLogger(*logMode)
 	if err != nil {
 		return err
 	}
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Addr:           *addr,
 		CacheEntries:   *cache,
 		RequestTimeout: *timeout,
 		MaxBudget:      *maxBudget,
 		MaxBatch:       *maxBatch,
+		MaxInFlight:    *maxInFlight,
 		Logger:         logger,
-	})
+	}
+	if *chaos != "" {
+		fc, err := storage.ParseFaultConfig(*chaos)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		cfg.FaultWrap = fc.Wrap
+		fmt.Printf("CHAOS MODE: injecting faults into disk-backed sessions (%s)\n", *chaos)
+	}
+	srv := server.New(cfg)
 
 	var preload *server.CreateSessionRequest
 	switch {

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -20,6 +21,12 @@ type PageRankOptions struct {
 	// exactly that many shards. Sharding is an execution knob only — the
 	// ordered merge keeps the result bit-identical to the serial sweep.
 	Shards int
+	// Ctx optionally carries the caller's cancellation: the power iteration
+	// polls it at every iteration boundary and stops early. PageRankAdj has
+	// no error surface, so a cancelled solve simply returns the partial
+	// vector — callers that must distinguish (core.Engine) check their
+	// context after the call and discard the result. nil = never cancelled.
+	Ctx context.Context
 }
 
 func (o PageRankOptions) withDefaults() PageRankOptions {
@@ -104,7 +111,18 @@ func PageRankAdj(c graph.Adjacency, opts PageRankOptions) []float64 {
 	// (node-centric fallback only).
 	var nbrs []graph.NodeID
 	var ws []float64
+	var done <-chan struct{}
+	if opts.Ctx != nil {
+		done = opts.Ctx.Done()
+	}
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if done != nil {
+			select {
+			case <-done:
+				return rank
+			default:
+			}
+		}
 		var dangling float64
 		for u := 0; u < n; u++ {
 			if wdeg[u] == 0 {

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/render"
+	"repro/internal/storage"
 )
 
 // BuildConfig configures engine construction over an in-memory graph.
@@ -109,7 +111,16 @@ func (e *Engine) SaveTree(path string, pageSize int) error {
 // OpenEngine opens a persisted G-Tree file as a disk-backed engine.
 // poolPages bounds the buffer pool (0 = default).
 func OpenEngine(path string, poolPages int) (*Engine, error) {
-	st, err := gtree.OpenFile(path, poolPages)
+	return OpenEngineWrapped(path, poolPages, nil)
+}
+
+// OpenEngineWrapped is OpenEngine with an optional wrapper interposed over
+// the store's backing file — the chaos-serving seam (a
+// storage.FaultInjector slid in here puts the whole retry → fault-epoch →
+// circuit-breaker stack under test against a live engine). nil wrap is
+// OpenEngine.
+func OpenEngineWrapped(path string, poolPages int, wrap func(storage.File) storage.File) (*Engine, error) {
+	st, err := gtree.OpenFileWrapped(path, poolPages, wrap)
 	if err != nil {
 		return nil, err
 	}
@@ -225,6 +236,12 @@ func (e *Engine) TierBudget() int64 { return e.tierBudget }
 // buffer-pool partition (see SetPoolQuota) so the query's paging is
 // bounded and accounted separately from concurrent queries'.
 //
+// ctx threads the query's cancellation into the paged view's blocked
+// sweeps (gtree.PagedCSR.WithContext): a server timeout or client
+// disconnect aborts the sweep at the next chunk boundary, and the release
+// function then unwinds pins and the partition through the normal defer
+// path — cancellation never orphans a reservation.
+//
 // When tr is non-nil the acquisition is recorded as the "open" stage, and
 // the release function charges the query's pool activity — pins (buffer
 // pool Gets = hits + misses), private hits/misses, evictions, reservation
@@ -232,7 +249,7 @@ func (e *Engine) TierBudget() int64 { return e.tierBudget }
 // closing the partition. This is the engine's "report what this query
 // cost" seam: the counters come from the partition the query pinned
 // through, so they name this query's paging, not the session's.
-func (e *Engine) queryAdj(tr *obs.Trace) (graph.Adjacency, func(), error) {
+func (e *Engine) queryAdj(ctx context.Context, tr *obs.Trace) (graph.Adjacency, func(), error) {
 	sp := tr.StartStage("open")
 	defer sp.End()
 	if e.g == nil && e.store.HasCSR() && e.poolQuota >= 0 {
@@ -246,6 +263,10 @@ func (e *Engine) queryAdj(tr *obs.Trace) (graph.Adjacency, func(), error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		// The context rides the view (and every shard view split from it),
+		// so sharded sweeps observe sibling cancellation through the same
+		// early-stop machinery that handles faults.
+		view = view.WithContext(ctx)
 		// With a tier budget, the query solves on the tiered view: reads
 		// covered by a resident fragment skip the pool entirely, the rest
 		// page through this query's partition as before.
@@ -256,6 +277,7 @@ func (e *Engine) queryAdj(tr *obs.Trace) (graph.Adjacency, func(), error) {
 			adj = tiered
 		}
 		faults0 := view.Faults()
+		retry0 := e.store.RetryStats()
 		release := func() {
 			if tr != nil {
 				st := part.Stats()
@@ -266,6 +288,13 @@ func (e *Engine) queryAdj(tr *obs.Trace) (graph.Adjacency, func(), error) {
 				tr.Count("pool.quota", int64(st.Quota))
 				tr.Count("pool.held", int64(st.Held))
 				tr.Count("pool.faults", int64(view.Faults()-faults0))
+				// Transient-read recovery across this query's window. The
+				// pager counters are store-wide, so under concurrent queries
+				// the delta attributes overlapping retries to each of them —
+				// approximate by design, zero when the store read clean.
+				retry1 := e.store.RetryStats()
+				tr.Count("pool.retries", int64(retry1.Retries-retry0.Retries))
+				tr.Count("pool.healed", int64(retry1.Healed-retry0.Healed))
 				// Sharded sweeps carved shard partitions out of this query's
 				// quota (Partition.Split); their folded snapshots are the
 				// query's per-shard pin distribution. Distinct names per shard:
@@ -526,16 +555,32 @@ type faultEpocher interface {
 // solve, and fails it if any fault landed in between. The protocol is
 // per-query — concurrent solves on the shared view cannot steal each
 // other's faults, and a transient fault fails only the queries that
-// overlapped it, not the session. For in-memory adjacencies fn runs bare.
-// This helper is the single home of the protocol; every whole-graph query
-// path (Extract, PageRank, AnalyzeGraph) must go through it.
-func (e *Engine) withFaultCheck(adj graph.Adjacency, fn func() error) error {
+// overlapped it, not the session. For in-memory adjacencies fn runs bare
+// except for the cancellation check. This helper is the single home of
+// the protocol; every whole-graph query path (Extract, PageRank,
+// AnalyzeGraph) must go through it.
+//
+// Cancellation is classified before faults: a cancelled solve returns
+// ctx's error untouched (kernels without an error surface, like
+// PageRankAdj, stop early and return a partial vector — the check here is
+// what discards it), it is never wrapped in ErrPagedIO, and it never
+// counts against the session's circuit breaker upstream. Nothing is wrong
+// with the store when a client hangs up.
+func (e *Engine) withFaultCheck(ctx context.Context, adj graph.Adjacency, fn func() error) error {
 	paged, isPaged := adj.(faultEpocher)
 	if !isPaged {
-		return fn()
+		if err := fn(); err != nil {
+			return err
+		}
+		return ctxErr(ctx)
 	}
 	epoch := paged.Faults()
 	if err := fn(); err != nil {
+		// A sweep aborted by its context returns ctx.Err() directly (no
+		// ErrPagedRead mark, no epoch latch) — pass it through unwrapped.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
 		// The edge-centric sweep kernels return paged read faults directly
 		// (as well as latching them on the epoch); classify those as
 		// backend failures too, so a mid-sweep checksum mismatch is a 500
@@ -548,10 +593,21 @@ func (e *Engine) withFaultCheck(adj graph.Adjacency, fn func() error) error {
 		}
 		return err
 	}
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
 	if perr := paged.ErrSince(epoch); perr != nil {
 		return fmt.Errorf("%w: %v", ErrPagedIO, perr)
 	}
 	return nil
+}
+
+// ctxErr is a nil-safe ctx.Err().
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // preloadLabelsIfPaged loads the persisted label index up front on
@@ -575,7 +631,7 @@ func (e *Engine) preloadLabelsIfPaged() error {
 // opened from a v1 file (no CSR section) return ErrNoCSR; any paged read
 // fault during the solve fails it with ErrPagedIO.
 func (e *Engine) Extract(sources []graph.NodeID, opts extract.Options) (*extract.Result, error) {
-	return e.ExtractTraced(nil, sources, opts)
+	return e.ExtractTraced(context.Background(), nil, sources, opts)
 }
 
 // ExtractTraced is Extract recording per-stage timings ("open" adjacency
@@ -583,11 +639,17 @@ func (e *Engine) Extract(sources []graph.NodeID, opts extract.Options) (*extract
 // "induce" sub-stages) and pool pin counts on tr, and tagging any error
 // with tr's request ID. A nil tr makes every hook a no-op — Extract
 // simply calls this with nil.
-func (e *Engine) ExtractTraced(tr *obs.Trace, sources []graph.NodeID, opts extract.Options) (res *extract.Result, err error) {
+//
+// ctx cancels the solve cooperatively: the RWR power iterations poll it
+// per pass and the paged sweeps per chunk, so a server timeout or client
+// disconnect stops the work promptly, releases the query's pins and
+// partition, and surfaces ctx's error (never ErrPagedIO — see
+// withFaultCheck).
+func (e *Engine) ExtractTraced(ctx context.Context, tr *obs.Trace, sources []graph.NodeID, opts extract.Options) (res *extract.Result, err error) {
 	defer func() { err = tagTrace(tr, err) }()
 	memDone := memStatsBracket(tr)
 	defer memDone()
-	adj, release, err := e.queryAdj(tr)
+	adj, release, err := e.queryAdj(ctx, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -604,8 +666,11 @@ func (e *Engine) ExtractTraced(tr *obs.Trace, sources []graph.NodeID, opts extra
 	if opts.RWR.Shards == 0 {
 		opts.RWR.Shards = e.sweepShards
 	}
+	if opts.RWR.Ctx == nil {
+		opts.RWR.Ctx = ctx
+	}
 	sp = tr.StartStage("solve")
-	err = e.withFaultCheck(adj, func() error {
+	err = e.withFaultCheck(ctx, adj, func() error {
 		var err error
 		res, err = extract.ConnectionSubgraphAdj(adj, e.directed(), e.labelOf(), sources, opts)
 		return err
@@ -622,16 +687,17 @@ func (e *Engine) ExtractTraced(tr *obs.Trace, sources []graph.NodeID, opts extra
 // same fault discipline as Extract: any paged read fault during the
 // iteration fails the call instead of returning a silently wrong vector.
 func (e *Engine) PageRank(opts analysis.PageRankOptions) ([]float64, error) {
-	return e.PageRankTraced(nil, opts)
+	return e.PageRankTraced(context.Background(), nil, opts)
 }
 
 // PageRankTraced is PageRank with per-stage timings and pool pin counts
-// recorded on tr (nil tr = untraced; see ExtractTraced).
-func (e *Engine) PageRankTraced(tr *obs.Trace, opts analysis.PageRankOptions) (ranks []float64, err error) {
+// recorded on tr (nil tr = untraced; see ExtractTraced). ctx cancels the
+// iteration cooperatively, discarding the partial vector.
+func (e *Engine) PageRankTraced(ctx context.Context, tr *obs.Trace, opts analysis.PageRankOptions) (ranks []float64, err error) {
 	defer func() { err = tagTrace(tr, err) }()
 	memDone := memStatsBracket(tr)
 	defer memDone()
-	adj, release, err := e.queryAdj(tr)
+	adj, release, err := e.queryAdj(ctx, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -639,8 +705,11 @@ func (e *Engine) PageRankTraced(tr *obs.Trace, opts analysis.PageRankOptions) (r
 	if opts.Shards == 0 {
 		opts.Shards = e.sweepShards
 	}
+	if opts.Ctx == nil {
+		opts.Ctx = ctx
+	}
 	sp := tr.StartStage("solve")
-	err = e.withFaultCheck(adj, func() error {
+	err = e.withFaultCheck(ctx, adj, func() error {
 		ranks = analysis.PageRankAdj(adj, opts)
 		return nil
 	})
@@ -675,13 +744,14 @@ type GraphAnalysis struct {
 // fails the call with ErrPagedIO instead of returning a silently wrong
 // report.
 func (e *Engine) AnalyzeGraph(opts analysis.PageRankOptions, topK int) (*GraphAnalysis, error) {
-	return e.AnalyzeGraphTraced(nil, opts, topK)
+	return e.AnalyzeGraphTraced(context.Background(), nil, opts, topK)
 }
 
 // AnalyzeGraphTraced is AnalyzeGraph with per-stage timings ("open",
 // "labels", "report", "pagerank", "rank") and pool pin counts recorded on
-// tr (nil tr = untraced; see ExtractTraced).
-func (e *Engine) AnalyzeGraphTraced(tr *obs.Trace, opts analysis.PageRankOptions, topK int) (res *GraphAnalysis, err error) {
+// tr (nil tr = untraced; see ExtractTraced). ctx cancels both sweeps
+// cooperatively at chunk/iteration boundaries.
+func (e *Engine) AnalyzeGraphTraced(ctx context.Context, tr *obs.Trace, opts analysis.PageRankOptions, topK int) (res *GraphAnalysis, err error) {
 	defer func() { err = tagTrace(tr, err) }()
 	memDone := memStatsBracket(tr)
 	defer memDone()
@@ -691,7 +761,7 @@ func (e *Engine) AnalyzeGraphTraced(tr *obs.Trace, opts analysis.PageRankOptions
 	// One per-query pool partition covers both sweeps: the structure
 	// report warms the pages PageRank is about to walk, and both charge
 	// the same reservation.
-	adj, release, err := e.queryAdj(tr)
+	adj, release, err := e.queryAdj(ctx, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -705,9 +775,12 @@ func (e *Engine) AnalyzeGraphTraced(tr *obs.Trace, opts analysis.PageRankOptions
 	if opts.Shards == 0 {
 		opts.Shards = e.sweepShards
 	}
+	if opts.Ctx == nil {
+		opts.Ctx = ctx
+	}
 	res = &GraphAnalysis{Directed: e.directed()}
 	sp = tr.StartStage("report")
-	err = e.withFaultCheck(adj, func() error {
+	err = e.withFaultCheck(ctx, adj, func() error {
 		res.AdjacencyReport = analysis.ReportAdjSharded(adj, e.directed(), opts.Shards)
 		return nil
 	})
@@ -717,7 +790,7 @@ func (e *Engine) AnalyzeGraphTraced(tr *obs.Trace, opts analysis.PageRankOptions
 	}
 	// PageRank brackets the iteration with its own epoch check.
 	sp = tr.StartStage("pagerank")
-	err = e.withFaultCheck(adj, func() error {
+	err = e.withFaultCheck(ctx, adj, func() error {
 		res.PageRank = analysis.PageRankAdj(adj, opts)
 		return nil
 	})

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/dblp"
+	"repro/internal/extract"
+	"repro/internal/graph"
+	"repro/internal/storage"
+)
+
+// chaosEngines builds the fixture once, persists it, and opens a
+// disk-backed engine whose backing file runs behind a FaultInjector the
+// test controls. Returns the memory baseline, the chaotic disk engine and
+// the injector.
+func chaosEngines(t *testing.T, poolPages int, seed int64) (*Engine, *Engine, *storage.FaultInjector) {
+	t.Helper()
+	ds := dblp.SmallFixture()
+	mem, err := BuildEngine(ds.Graph, BuildConfig{K: 3, Levels: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "chaos.gtree")
+	if err := mem.SaveTree(path, 256); err != nil {
+		t.Fatal(err)
+	}
+	var inj *storage.FaultInjector
+	disk, err := OpenEngineWrapped(path, poolPages, func(f storage.File) storage.File {
+		inj = storage.NewFaultInjector(f, seed)
+		return inj
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { disk.Close() })
+	return mem, disk, inj
+}
+
+// TestChaosSoakBitIdentityUnderTransientFaults is the acceptance soak:
+// with a ≥1% seeded transient fault rate on every page read (bit flips
+// that heal on re-read, transient errors, short reads), concurrent
+// extraction, PageRank and whole-graph analysis must produce results
+// bit-identical to the clean in-memory engine — the retry layer heals
+// every fault below the epoch protocol — and once the soak drains, the
+// pool must hold zero pinned frames and zero partitions.
+func TestChaosSoakBitIdentityUnderTransientFaults(t *testing.T) {
+	mem, disk, inj := chaosEngines(t, 16, 7)
+	inj.SetRate(0.02, storage.FaultFlip, storage.FaultErr, storage.FaultShort)
+
+	// Baselines from the clean memory engine.
+	ds := dblp.SmallFixture()
+	n := ds.Graph.NumNodes()
+	rng := rand.New(rand.NewSource(99))
+	type trial struct {
+		sources []graph.NodeID
+		opts    extract.Options
+		want    *extract.Result
+	}
+	modes := []extract.CombineMode{extract.CombineAND, extract.CombineOR, extract.CombineKSoftAND}
+	var trials []trial
+	for i := 0; i < 4; i++ {
+		srcSet := map[graph.NodeID]bool{}
+		for len(srcSet) < 2+rng.Intn(2) {
+			srcSet[graph.NodeID(rng.Intn(n))] = true
+		}
+		var sources []graph.NodeID
+		for s := range srcSet {
+			sources = append(sources, s)
+		}
+		opts := extract.Options{Budget: 10 + rng.Intn(10), Mode: modes[i%len(modes)], K: 2}
+		want, err := mem.Extract(sources, opts)
+		if err != nil {
+			continue
+		}
+		trials = append(trials, trial{sources, opts, want})
+	}
+	if len(trials) == 0 {
+		t.Fatal("no usable baseline trials")
+	}
+	// MaxIter keeps the paged whole-file sweep affordable in the soak; the
+	// identity contract holds for any iteration count.
+	prOpts := analysis.PageRankOptions{MaxIter: 12}
+	wantRank, err := mem.PageRank(prOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, iters = 4, 2
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*iters*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				tr := trials[(w+it)%len(trials)]
+				got, err := disk.Extract(tr.sources, tr.opts)
+				if err != nil {
+					errc <- err
+					continue
+				}
+				if len(got.Nodes) != len(tr.want.Nodes) {
+					t.Errorf("worker %d iter %d: %d nodes, want %d", w, it, len(got.Nodes), len(tr.want.Nodes))
+					continue
+				}
+				for i := range got.Goodness {
+					if math.Float64bits(got.Goodness[i]) != math.Float64bits(tr.want.Goodness[i]) {
+						t.Errorf("worker %d iter %d: goodness[%d] diverged under chaos", w, it, i)
+						break
+					}
+				}
+				if w == 0 && it == 0 {
+					gotRank, err := disk.PageRank(prOpts)
+					if err != nil {
+						errc <- err
+						continue
+					}
+					for i := range wantRank {
+						if math.Float64bits(gotRank[i]) != math.Float64bits(wantRank[i]) {
+							t.Errorf("pagerank[%d] diverged under chaos", i)
+							break
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	// At 2% per-read fault rate the odds of readAttempts consecutive
+	// injected faults on one read are ~1.6e-7 — any query error here is a
+	// real bug, not bad luck.
+	for err := range errc {
+		t.Errorf("query failed under transient chaos: %v", err)
+	}
+
+	rs := disk.Store().RetryStats()
+	if rs.Healed == 0 {
+		t.Fatalf("soak healed no reads (stats %+v, injector %+v) — injection never engaged", rs, inj.Stats())
+	}
+	if rs.Failed != 0 {
+		t.Errorf("soak latched %d permanent faults; transient-only injection must heal", rs.Failed)
+	}
+	if pins := disk.Store().PinnedFrames(); pins != 0 {
+		t.Errorf("%d frames still pinned after soak", pins)
+	}
+	if parts := disk.Store().PoolInfo().Partitions; len(parts) != 0 {
+		t.Errorf("%d partitions still open after soak", len(parts))
+	}
+}
+
+// TestChaosRetryExhaustionFailsQueryOnce: when a read's transient faults
+// outlast the retry budget, exactly one fault epoch latches, the query
+// fails with ErrPagedIO, and the next query (clean reads) succeeds — the
+// session survives the fault.
+func TestChaosRetryExhaustionFailsQueryOnce(t *testing.T) {
+	_, disk, inj := chaosEngines(t, 4, 3)
+	view, err := disk.Store().PagedCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults0 := view.Faults()
+
+	// Four consecutive scripted transient errors exhaust readAttempts on
+	// the first page read of the next query.
+	inj.Script(storage.FaultErr, storage.FaultErr, storage.FaultErr, storage.FaultErr)
+	_, err = disk.PageRank(analysis.PageRankOptions{})
+	if err == nil {
+		t.Fatal("query succeeded through retry exhaustion")
+	}
+	if !errors.Is(err, ErrPagedIO) {
+		t.Fatalf("exhausted retries surfaced as %v, want ErrPagedIO", err)
+	}
+	if d := view.Faults() - faults0; d != 1 {
+		t.Fatalf("fault epoch bumped %d times, want exactly 1", d)
+	}
+	if pins := disk.Store().PinnedFrames(); pins != 0 {
+		t.Fatalf("%d frames still pinned after failed query", pins)
+	}
+
+	// Script drained: the same query now reads clean.
+	if _, err := disk.PageRank(analysis.PageRankOptions{}); err != nil {
+		t.Fatalf("clean query after fault failed: %v", err)
+	}
+	if d := view.Faults() - faults0; d != 1 {
+		t.Fatalf("clean query moved the fault epoch (delta %d)", d)
+	}
+}
+
+// TestChaosCancellationReleasesEverything: cancelled queries (both
+// pre-cancelled and cancelled mid-flight under concurrency) return the
+// context error unwrapped, never latch a fault epoch, and leave zero
+// pinned frames and zero pool partitions behind.
+func TestChaosCancellationReleasesEverything(t *testing.T) {
+	_, disk, _ := chaosEngines(t, 16, 5)
+	view, err := disk.Store().PagedCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults0 := view.Faults()
+	sources := []graph.NodeID{0, 1, 2}
+	opts := extract.Options{Budget: 20}
+
+	// Deterministic: already-cancelled context aborts at the first
+	// cooperative checkpoint.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = disk.ExtractTraced(ctx, nil, sources, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled extract: %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrPagedIO) {
+		t.Fatalf("cancellation misclassified as paged fault: %v", err)
+	}
+	if _, err := disk.AnalyzeGraphTraced(ctx, nil, analysis.PageRankOptions{}, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled analysis: %v, want context.Canceled", err)
+	}
+
+	// Racy: concurrent queries cancelled at random points mid-solve.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cctx, ccancel := context.WithTimeout(context.Background(), time.Duration(w)*200*time.Microsecond)
+			defer ccancel()
+			_, err := disk.ExtractTraced(cctx, nil, sources, opts)
+			if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("worker %d: cancelled extract returned %v", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if d := view.Faults() - faults0; d != 0 {
+		t.Errorf("cancellations latched %d fault epochs", d)
+	}
+	if pins := disk.Store().PinnedFrames(); pins != 0 {
+		t.Errorf("%d frames still pinned after cancellations", pins)
+	}
+	if parts := disk.Store().PoolInfo().Partitions; len(parts) != 0 {
+		t.Errorf("%d partitions still open after cancellations", len(parts))
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"path/filepath"
 	"testing"
@@ -61,7 +62,7 @@ func TestExtractTracePinsMatchPoolCounters(t *testing.T) {
 
 	before := eng.Store().PoolInfo()
 	tr := obs.NewTrace("test-req")
-	if _, err := eng.ExtractTraced(tr, sources, opts); err != nil {
+	if _, err := eng.ExtractTraced(context.Background(), tr, sources, opts); err != nil {
 		t.Fatal(err)
 	}
 	after := eng.Store().PoolInfo()
@@ -96,7 +97,7 @@ func TestAnalyzeGraphTracedStages(t *testing.T) {
 	eng := tracedDiskEngine(t)
 	tr := obs.NewTrace("analyze-req")
 	tr.SetDebug(true)
-	if _, err := eng.AnalyzeGraphTraced(tr, analysis.PageRankOptions{}, 5); err != nil {
+	if _, err := eng.AnalyzeGraphTraced(context.Background(), tr, analysis.PageRankOptions{}, 5); err != nil {
 		t.Fatal(err)
 	}
 	names := stageNames(tr)
@@ -119,7 +120,7 @@ func TestAnalyzeGraphTracedStages(t *testing.T) {
 func TestTracedErrorCarriesRequestID(t *testing.T) {
 	eng := tracedDiskEngine(t)
 	tr := obs.NewTrace("fail-req")
-	_, err := eng.ExtractTraced(tr, []graph.NodeID{-1}, extract.Options{})
+	_, err := eng.ExtractTraced(context.Background(), tr, []graph.NodeID{-1}, extract.Options{})
 	if err == nil {
 		t.Fatal("out-of-range source extracted")
 	}

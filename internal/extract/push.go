@@ -1,6 +1,7 @@
 package extract
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -29,6 +30,21 @@ const pushDefaultEpsilon = 1e-7
 // power-iteration path enforces — instead of being silently remapped to
 // the defaults.
 func RWRPush(c graph.Adjacency, src graph.NodeID, restart, epsilon float64) ([]float64, error) {
+	return RWRPushCtx(nil, c, src, restart, epsilon)
+}
+
+// pushCancelStride is how many queue pops RWRPushCtx processes between
+// cancellation polls. Push work is bursty — most pops are cheap, a hub's
+// can decode thousands of neighbors — so a modest stride keeps the poll
+// off the per-pop path while still bounding how long a dead client's
+// query keeps pushing.
+const pushCancelStride = 1024
+
+// RWRPushCtx is RWRPush under a caller's context: the push loop polls ctx
+// every pushCancelStride queue pops and aborts with ctx.Err(). A nil ctx
+// is RWRPush. (The power-iteration path takes its context through
+// RWROptions.Ctx instead; push's positional signature predates options.)
+func RWRPushCtx(ctx context.Context, c graph.Adjacency, src graph.NodeID, restart, epsilon float64) ([]float64, error) {
 	n := c.N()
 	if src < 0 || int(src) >= n {
 		return nil, fmt.Errorf("extract: source %d out of range (n=%d)", src, n)
@@ -68,8 +84,19 @@ func RWRPush(c graph.Adjacency, src graph.NodeID, restart, epsilon float64) ([]f
 			queue = append(queue, u)
 		}
 	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	enqueue(int32(src))
-	for len(queue) > 0 {
+	for pops := 0; len(queue) > 0; pops++ {
+		if done != nil && pops%pushCancelStride == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		u := queue[0]
 		queue = queue[1:]
 		inQ[u] = false

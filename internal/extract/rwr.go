@@ -9,6 +9,7 @@
 package extract
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -43,6 +44,14 @@ type RWROptions struct {
 	// it is already fanning sources out over more than one worker, so the
 	// two parallelism axes never multiply.
 	Shards int
+	// Ctx optionally carries the caller's cancellation into the solve:
+	// RWRSet polls it at every power-iteration boundary and aborts with
+	// ctx.Err() — so a server timeout or client disconnect stops a
+	// whole-graph walk within one pass instead of grinding the remaining
+	// iterations. Like Parallel and Shards it is an execution knob with no
+	// effect on results that complete, and is excluded from server cache
+	// keys. nil means never cancelled.
+	Ctx context.Context
 }
 
 // Normalize validates o and fills zero fields with defaults. Explicitly
@@ -154,7 +163,23 @@ func RWRSet(c graph.Adjacency, sources []graph.NodeID, opts RWROptions) ([]float
 	// (node-centric fallback only).
 	var nbrs []graph.NodeID
 	var ws []float64
+	// done caches Ctx.Done() so the per-iteration cancellation poll is one
+	// channel read. Paged backends additionally poll between sweep chunks
+	// (gtree.PagedCSR.WithContext); this boundary check is what covers the
+	// in-memory CSR, whose sweeps never block on I/O but still cost a full
+	// edge pass per iteration.
+	var done <-chan struct{}
+	if opts.Ctx != nil {
+		done = opts.Ctx.Done()
+	}
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, opts.Ctx.Err()
+			default:
+			}
+		}
 		if acc != nil {
 			acc.Reset()
 			err := graph.ParallelSweepEdges(views, ranges, func(shard int, u graph.NodeID, nbrs []graph.NodeID, ws []float64) bool {

@@ -1,0 +1,128 @@
+package gtree
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestSweepContextCancellation: a cancelled context aborts SweepEdges at a
+// chunk boundary with the bare context error — no ErrPagedRead wrap, no
+// fault-epoch latch — while a non-cancellable or nil context costs nothing
+// and sweeps to completion.
+func TestSweepContextCancellation(t *testing.T) {
+	// >2 sweep chunks (4096 nodes each), so a mid-sweep cancel has a chunk
+	// boundary left to observe it.
+	g := hubGraph(9000, 4000, 3, 11)
+	path := buildAndSave(t, g, 256)
+	s, err := OpenFile(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := s.PagedCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// WithContext on a context that can never cancel returns the view
+	// itself: no per-sweep overhead for untimed queries.
+	if v := c.WithContext(context.Background()); v != c {
+		t.Error("WithContext(Background) allocated a new view")
+	}
+	if v := c.WithContext(nil); v != c {
+		t.Error("WithContext(nil) allocated a new view")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	v := c.WithContext(ctx)
+	if v == c {
+		t.Fatal("WithContext(cancellable) did not copy the view")
+	}
+	faults0 := v.Faults()
+
+	// Pre-cancelled: the sweep stops at the first chunk boundary, before
+	// emitting anything.
+	cancel()
+	emitted := 0
+	err = v.SweepEdges(0, graph.NodeID(v.N()), func(graph.NodeID, []graph.NodeID, []float64) bool {
+		emitted++
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrPagedRead) {
+		t.Fatalf("cancellation wrapped as paged read fault: %v", err)
+	}
+	if emitted != 0 {
+		t.Fatalf("pre-cancelled sweep emitted %d nodes", emitted)
+	}
+	if d := v.Faults() - faults0; d != 0 {
+		t.Fatalf("cancellation latched %d fault epochs", d)
+	}
+
+	// Mid-sweep: cancel from inside the callback; the sweep finishes the
+	// current chunk (cancellation is cooperative at chunk boundaries) and
+	// stops strictly short of a full pass.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	v2 := c.WithContext(ctx2)
+	emitted = 0
+	err = v2.SweepEdges(0, graph.NodeID(v2.N()), func(graph.NodeID, []graph.NodeID, []float64) bool {
+		emitted++
+		cancel2()
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-sweep cancel returned %v, want context.Canceled", err)
+	}
+	if emitted == 0 || emitted >= v2.N() {
+		t.Fatalf("mid-sweep cancel emitted %d of %d nodes; want a strict partial pass", emitted, v2.N())
+	}
+
+	// The shared view is untouched: a clean full sweep still works.
+	next := 0
+	if err := c.SweepEdges(0, graph.NodeID(c.N()), func(u graph.NodeID, _ []graph.NodeID, _ []float64) bool {
+		next++
+		return true
+	}); err != nil {
+		t.Fatalf("clean sweep after cancellations: %v", err)
+	}
+	if next != c.N() {
+		t.Fatalf("clean sweep emitted %d of %d", next, c.N())
+	}
+}
+
+// TestShardViewsInheritContext: shard views split from a
+// context-carrying view observe the same cancellation, so one cancelled
+// sibling stops a sharded whole-graph sweep.
+func TestShardViewsInheritContext(t *testing.T) {
+	g := hubGraph(600, 2500, 3, 13)
+	path := buildAndSave(t, g, 256)
+	s, err := OpenFile(path, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := s.PagedCSR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	v := c.WithContext(ctx)
+	views, release, err := v.SweepShardViews(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ranges := graph.ShardRanges(v, 4)
+	err = graph.ParallelSweepEdges(views, ranges, func(int, graph.NodeID, []graph.NodeID, []float64) bool {
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sharded sweep under cancelled ctx returned %v, want context.Canceled", err)
+	}
+}

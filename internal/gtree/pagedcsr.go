@@ -1,6 +1,7 @@
 package gtree
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -69,6 +70,13 @@ type PagedCSR struct {
 	// scratch pools are properties of the underlying file, not of the pool
 	// a particular query pins pages through.
 	sh *pagedShared
+
+	// ctx/done carry a query's cooperative cancellation into the blocked
+	// sweeps (see WithContext). done caches ctx.Done() so the per-chunk
+	// check is one channel poll, never an interface call. nil on the base
+	// view and on views whose context cannot be cancelled.
+	ctx  context.Context
+	done <-chan struct{}
 }
 
 type pagedShared struct {
@@ -142,10 +150,46 @@ func newPagedCSR(s *Store) (*PagedCSR, error) {
 func (c *PagedCSR) withPool(p storage.PagePool) *PagedCSR {
 	return &PagedCSR{
 		n: c.n, halfEdges: c.halfEdges, directed: c.directed, sh: c.sh, pool: p,
+		ctx: c.ctx, done: c.done,
 		xadj:   c.xadj.WithPool(p),
 		adjncy: c.adjncy.WithPool(p),
 		edgew:  c.edgew.WithPool(p),
 		nodew:  c.nodew.WithPool(p),
+	}
+}
+
+// WithContext returns a view of c whose blocked sweeps observe ctx: every
+// node-chunk boundary polls for cancellation and aborts the sweep with
+// ctx.Err(). The cancellation error is returned as-is — NOT wrapped in
+// ErrPagedRead and NOT latched on the fault epoch, because nothing is
+// wrong with the file; concurrent queries sharing the store must not fail
+// over a neighbor's impatient client. Shard views split from this view
+// (shardViews/withPool) inherit the context, which is how a server-side
+// timeout reaches every sibling of a sharded sweep. A nil or
+// never-cancellable context returns c unchanged.
+func (c *PagedCSR) WithContext(ctx context.Context) *PagedCSR {
+	if ctx == nil || ctx.Done() == nil {
+		return c
+	}
+	v := *c
+	v.ctx = ctx
+	v.done = ctx.Done()
+	return &v
+}
+
+// canceled polls the view's context, returning its error once done.
+// One non-blocking channel poll — cheap enough for chunk boundaries.
+//
+//gmine:hotpath
+func (c *PagedCSR) canceled() error {
+	if c.done == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return c.ctx.Err()
+	default:
+		return nil
 	}
 }
 
@@ -501,6 +545,12 @@ func (c *PagedCSR) sweep(lo, hi int, mode sweepMode, emit func(u int, ids []grap
 
 	winLo, winHi := 0, 0 // decoded half-edge range resident in b.ids/b.ws
 	for base := lo; base < hi; base += sweepNodeChunk {
+		// Cooperative cancellation between chunks: a timed-out or
+		// disconnected query stops paging here, releases its pins through
+		// the normal defer path, and surfaces ctx.Err() unlatched.
+		if err := c.canceled(); err != nil {
+			return err
+		}
 		nodeHi := base + sweepNodeChunk
 		if nodeHi > hi {
 			nodeHi = hi

@@ -358,7 +358,15 @@ type Store struct {
 // OpenFile opens a persisted G-Tree. poolPages bounds the buffer pool (0
 // selects 256 pages).
 func OpenFile(path string, poolPages int) (*Store, error) {
-	p, err := storage.Open(path, true)
+	return OpenFileWrapped(path, poolPages, nil)
+}
+
+// OpenFileWrapped is OpenFile with an optional wrapper interposed over the
+// pager's backing file — the chaos-serving seam: a storage.FaultInjector
+// slid in here exercises the whole retry/fault-epoch/breaker stack against
+// a live store. nil wrap is OpenFile.
+func OpenFileWrapped(path string, poolPages int, wrap func(storage.File) storage.File) (*Store, error) {
+	p, err := storage.OpenWrapped(path, true, wrap)
 	if err != nil {
 		return nil, err
 	}
@@ -690,6 +698,10 @@ type PoolInfo struct {
 	Reserved   int
 	FilePages  uint32
 	Partitions []storage.PartitionStats
+	// Retry is the pager's transient-read recovery ledger: re-read
+	// attempts, reads healed by retry, and reads that exhausted the budget
+	// and surfaced as permanent faults.
+	Retry storage.RetryStats
 	// Tier is the hot/cold tiering state, nil while tiering is off (no
 	// budget ever set and nothing ever promoted).
 	Tier *TierInfo
@@ -707,9 +719,17 @@ func (s *Store) PoolInfo() PoolInfo {
 		Reserved:   s.pool.Reserved(),
 		FilePages:  s.pager.NumPages(),
 		Partitions: s.pool.Partitions(),
+		Retry:      s.pager.RetryStats(),
 		Tier:       s.TierInfo(),
 	}
 }
+
+// RetryStats snapshots the pager's transient-read recovery counters.
+func (s *Store) RetryStats() storage.RetryStats { return s.pager.RetryStats() }
+
+// PinnedFrames reports resident buffer-pool frames with live pins (0 when
+// every query released cleanly — the cancellation tests' invariant).
+func (s *Store) PinnedFrames() int { return s.pool.PinnedFrames() }
 
 // PoolCapacity returns the buffer pool's frame capacity.
 func (s *Store) PoolCapacity() int { return s.pool.Capacity() }

@@ -395,6 +395,12 @@ func (t *TieredCSR) sweepTiered(lo, hi int, mode sweepMode, emit func(u int, ids
 	}
 	cur := lo
 	for cur < hi {
+		// Same per-chunk cancellation poll the paged sweep runs — fragment
+		// emission is memory-speed, but a long resident stretch must not
+		// outlive its query's deadline either.
+		if err := c.canceled(); err != nil {
+			return err
+		}
 		f := snap.next(cur)
 		if f == nil || f.lo >= hi {
 			// Cold tail: no fragment intersects [cur,hi).

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -103,6 +104,12 @@ func (s *Server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 		Count:   n,
 		Results: make([]BatchExtractItem, n),
 	}
+	// The request context doubles as the batch's cancellation: when the
+	// client disconnects (or the request deadline fires), the dispatch loop
+	// stops feeding workers and every in-flight item's solve aborts at its
+	// next cooperative checkpoint — a dead dashboard doesn't keep fifty
+	// extractions grinding the buffer pool.
+	ctx := r.Context()
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -110,17 +117,34 @@ func (s *Server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				resp.Results[idx] = s.safeBatchItem(sess, req.Requests[idx], idx, workers, parentID)
+				resp.Results[idx] = s.safeBatchItem(ctx, sess, req.Requests[idx], idx, workers, parentID)
 			}
 		}()
 	}
+	dispatched := 0
+dispatch:
 	for idx := range req.Requests {
-		jobs <- idx
+		select {
+		case jobs <- idx:
+			dispatched++
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	for idx := dispatched; idx < n; idx++ {
+		resp.Results[idx] = BatchExtractItem{
+			Index:  idx,
+			Status: statusClientClosedRequest,
+			Error:  "batch cancelled before dispatch: " + ctx.Err().Error(),
+		}
+	}
 
 	for i := range resp.Results {
+		if resp.Results[i].Status == statusClientClosedRequest {
+			s.metrics.cancels.Inc()
+		}
 		if resp.Results[i].Error == "" {
 			resp.Succeeded++
 			s.metrics.batchOK.Inc()
@@ -135,7 +159,7 @@ func (s *Server) handleExtractBatch(w http.ResponseWriter, r *http.Request) {
 // safeBatchItem contains a panicking build to its own item. Batch items
 // run on pool goroutines, outside net/http's per-request recovery — an
 // unrecovered panic there would kill the whole server, not one request.
-func (s *Server) safeBatchItem(sess *Session, req ExtractRequest, idx, workers int, parentID string) (item BatchExtractItem) {
+func (s *Server) safeBatchItem(ctx context.Context, sess *Session, req ExtractRequest, idx, workers int, parentID string) (item BatchExtractItem) {
 	defer func() {
 		if r := recover(); r != nil {
 			item = BatchExtractItem{
@@ -145,13 +169,13 @@ func (s *Server) safeBatchItem(sess *Session, req ExtractRequest, idx, workers i
 			}
 		}
 	}()
-	return s.runBatchItem(sess, req, idx, workers, parentID)
+	return s.runBatchItem(ctx, sess, req, idx, workers, parentID)
 }
 
 // runBatchItem plans and executes one batch item through the shared result
 // cache and singleflight, so items identical to cached or in-flight queries
 // (even duplicates within the same batch) cost nothing extra.
-func (s *Server) runBatchItem(sess *Session, req ExtractRequest, idx, workers int, parentID string) BatchExtractItem {
+func (s *Server) runBatchItem(ctx context.Context, sess *Session, req ExtractRequest, idx, workers int, parentID string) BatchExtractItem {
 	item := BatchExtractItem{Index: idx}
 	var tr *obs.Trace
 	if parentID != "" {
@@ -182,7 +206,7 @@ func (s *Server) runBatchItem(sess *Session, req ExtractRequest, idx, workers in
 		return item
 	}
 	body, _, state, errStatus, err := s.cachedResult(p.key, func() ([]byte, string, int, error) {
-		return s.buildExtract(sess, p, tr)
+		return s.buildExtract(ctx, sess, p, tr)
 	})
 	tr.Note("cache", state)
 	if err != nil {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/render"
+	"repro/internal/storage"
 )
 
 const jsonContentType = "application/json; charset=utf-8"
@@ -108,7 +110,9 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 	tr := traceFrom(r.Context())
 	tr.Note("cache", state)
 	if err != nil {
-		writeError(w, errStatus, "%s", err)
+		if !s.maybeWriteOverload(w, err) {
+			writeError(w, errStatus, "%s", err)
+		}
 		return
 	}
 	w.Header().Set("X-Gmine-Cache", state)
@@ -130,11 +134,18 @@ var errBackendFault = errors.New("backend fault")
 
 // statusOf maps session-level errors to HTTP statuses: gone sessions are
 // 404, backend storage faults (including paged-read failures mid-query)
-// are 500, everything else gets the caller's fallback.
+// are 500, cancelled work is classified by who gave up — the client (499,
+// connection is gone anyway) or the request deadline (503, retryable) —
+// an open circuit breaker is a retryable 503, and everything else gets
+// the caller's fallback.
 func statusOf(err error, fallback int) int {
 	switch {
 	case errors.Is(err, errSessionGone):
 		return http.StatusNotFound
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, errBreakerOpen):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, errBackendFault), errors.Is(err, core.ErrPagedIO):
 		return http.StatusInternalServerError
 	}
@@ -176,6 +187,13 @@ type PoolInfo struct {
 	Reserved  int    `json:"reserved"`
 	FilePages uint32 `json:"filePages"`
 	HasCSR    bool   `json:"hasCSR"`
+	// PinnedFrames counts resident frames currently pinned by in-flight
+	// queries; a non-zero value on an idle session means a query leaked
+	// pins (the cancellation soak asserts it returns to zero).
+	PinnedFrames int `json:"pinnedFrames"`
+	// Retry is the pager's transient-read recovery ledger: re-read
+	// attempts, reads healed by retry, reads that exhausted the budget.
+	Retry storage.RetryStats `json:"retry"`
 	// Stale marks a last-known snapshot served while the session was
 	// write-locked (building or deleting); fresh reads omit it.
 	Stale      bool            `json:"stale,omitempty"`
@@ -201,15 +219,17 @@ type PartitionInfo struct {
 func poolInfoFrom(st *gtree.Store) *PoolInfo {
 	pi := st.PoolInfo()
 	out := &PoolInfo{
-		Hits:      pi.Hits,
-		Misses:    pi.Misses,
-		Evictions: pi.Evictions,
-		Capacity:  pi.Capacity,
-		Resident:  pi.Resident,
-		Reserved:  pi.Reserved,
-		FilePages: pi.FilePages,
-		HasCSR:    st.HasCSR(),
-		Tier:      pi.Tier,
+		Hits:         pi.Hits,
+		Misses:       pi.Misses,
+		Evictions:    pi.Evictions,
+		Capacity:     pi.Capacity,
+		Resident:     pi.Resident,
+		Reserved:     pi.Reserved,
+		FilePages:    pi.FilePages,
+		HasCSR:       st.HasCSR(),
+		PinnedFrames: st.PinnedFrames(),
+		Retry:        pi.Retry,
+		Tier:         pi.Tier,
 	}
 	for _, p := range pi.Partitions {
 		out.Partitions = append(out.Partitions, PartitionInfo{
@@ -369,7 +389,7 @@ func (s *Server) createSession(req CreateSessionRequest) (SessionInfo, int, erro
 		return SessionInfo{}, http.StatusConflict, err
 	}
 	begin := time.Now()
-	eng, err := buildEngine(req, method)
+	eng, err := buildEngine(req, method, s.cfg.FaultWrap)
 	if err != nil {
 		s.reg.abort(sess)
 		return SessionInfo{}, http.StatusBadRequest, fmt.Errorf("build failed: %w", err)
@@ -391,7 +411,10 @@ func (s *Server) createSession(req CreateSessionRequest) (SessionInfo, int, erro
 	return info, http.StatusCreated, nil
 }
 
-func buildEngine(req CreateSessionRequest, method partition.Method) (*core.Engine, error) {
+// buildEngine constructs the engine behind a session. wrap (nil = none)
+// interposes on the backing file of disk-backed sessions — the server's
+// chaos fault injection seam.
+func buildEngine(req CreateSessionRequest, method partition.Method, wrap func(storage.File) storage.File) (*core.Engine, error) {
 	cfg := core.BuildConfig{
 		K:            req.K,
 		Levels:       req.Levels,
@@ -432,7 +455,7 @@ func buildEngine(req CreateSessionRequest, method partition.Method) (*core.Engin
 		eng.SetSweepShards(req.SweepShards)
 		return eng, nil
 	case "gtree":
-		eng, err := core.OpenEngine(req.Path, req.PoolPages)
+		eng, err := core.OpenEngineWrapped(req.Path, req.PoolPages, wrap)
 		if err != nil {
 			return nil, err
 		}
@@ -858,11 +881,11 @@ func (s *Server) planExtract(sess *Session, req ExtractRequest) (extractPlan, in
 // extraction), and renders the response body. The trace (nil when the
 // caller holds none, or when a different request's build was coalesced
 // into) collects the engine's stage breakdown and pool pins.
-func (s *Server) buildExtract(sess *Session, p extractPlan, tr *obs.Trace) ([]byte, string, int, error) {
+func (s *Server) buildExtract(ctx context.Context, sess *Session, p extractPlan, tr *obs.Trace) ([]byte, string, int, error) {
 	var body []byte
 	var ctyp string
-	err := sess.withRead(func(eng *core.Engine) error {
-		res, err := eng.ExtractTraced(tr, p.sources, p.opts)
+	err := sess.guardedRead(func(eng *core.Engine) error {
+		res, err := eng.ExtractTraced(ctx, tr, p.sources, p.opts)
 		if err != nil {
 			return err
 		}
@@ -898,7 +921,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	}
 	tr := traceFrom(r.Context())
 	s.serveCached(w, r, p.key, func() ([]byte, string, int, error) {
-		return s.buildExtract(sess, p, tr)
+		return s.buildExtract(r.Context(), sess, p, tr)
 	})
 }
 
@@ -986,7 +1009,7 @@ func (s *Server) handleAnalysis(w http.ResponseWriter, r *http.Request) {
 	tr := traceFrom(r.Context())
 	s.serveCached(w, r, key, func() ([]byte, string, int, error) {
 		var body []byte
-		err := sess.withRead(func(eng *core.Engine) error {
+		err := sess.guardedRead(func(eng *core.Engine) error {
 			t := eng.Tree()
 			id := gtree.TreeID(community)
 			if community < 0 {
@@ -1079,8 +1102,8 @@ func (s *Server) handleGraphAnalysis(w http.ResponseWriter, r *http.Request) {
 	tr := traceFrom(r.Context())
 	s.serveCached(w, r, key, func() ([]byte, string, int, error) {
 		var body []byte
-		err := sess.withRead(func(eng *core.Engine) error {
-			rep, err := eng.AnalyzeGraphTraced(tr, analysis.PageRankOptions{}, topK)
+		err := sess.guardedRead(func(eng *core.Engine) error {
+			rep, err := eng.AnalyzeGraphTraced(r.Context(), tr, analysis.PageRankOptions{}, topK)
 			if err != nil {
 				return err
 			}

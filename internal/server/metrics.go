@@ -33,6 +33,8 @@ type serverMetrics struct {
 	faults    *obs.Counter      // gmine_query_pool_faults_total
 	batchOK   *obs.Counter      // gmine_batch_items_total{outcome}
 	batchErr  *obs.Counter
+	overload  *obs.CounterVec // gmine_http_overload_total{kind}
+	cancels   *obs.Counter    // gmine_query_cancelled_total
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -60,6 +62,13 @@ func newServerMetrics(s *Server) *serverMetrics {
 			obs.PinBuckets),
 		faults: reg.Counter("gmine_query_pool_faults_total",
 			"Paged-read fault epochs observed by traced queries."),
+		overload: reg.CounterVec("gmine_http_overload_total",
+			"Transient 503 rejections by kind: shed (admission limit), "+
+				"timeout (request deadline), breaker_open (session circuit breaker).",
+			"kind"),
+		cancels: reg.Counter("gmine_query_cancelled_total",
+			"Queries and batch items abandoned because the client went away "+
+				"(cooperative cancellation unwound the solve)."),
 	}
 	batch := reg.CounterVec("gmine_batch_items_total",
 		"Batch extraction items processed, by outcome.", "outcome")
@@ -142,6 +151,49 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Per-query buffer-pool partitions currently in flight, by session.",
 		"gauge", poolLabels, func(emit func(v float64, labelVals ...string)) {
 			eachPool(emit, func(pi *PoolInfo) float64 { return float64(len(pi.Partitions)) })
+		})
+	reg.Collect("gmine_pool_pinned_frames",
+		"Resident frames currently pinned by in-flight queries, by session "+
+			"(non-zero on an idle session means leaked pins).",
+		"gauge", poolLabels, func(emit func(v float64, labelVals ...string)) {
+			eachPool(emit, func(pi *PoolInfo) float64 { return float64(pi.PinnedFrames) })
+		})
+	reg.Collect("gmine_pool_read_retries_total",
+		"Transient page-read recovery by session: retry (re-read attempts), "+
+			"healed (reads recovered by retry), failed (reads that exhausted "+
+			"the retry budget and latched a permanent fault).",
+		"counter", []string{"session", "op"}, func(emit func(v float64, labelVals ...string)) {
+			for _, name := range s.reg.names() {
+				sess, ok := s.reg.get(name)
+				if !ok {
+					continue
+				}
+				if pi := sess.poolSnapshot(false); pi != nil {
+					emit(float64(pi.Retry.Retries), name, "retry")
+					emit(float64(pi.Retry.Healed), name, "healed")
+					emit(float64(pi.Retry.Failed), name, "failed")
+				}
+			}
+		})
+
+	// Circuit breaker state per session: 0 closed, 1 open, 2 half-open.
+	eachBreaker := func(each func(name string, state int, opens uint64)) {
+		for _, name := range s.reg.names() {
+			if sess, ok := s.reg.get(name); ok && sess.brk != nil {
+				st, opens := sess.brk.state()
+				each(name, st, opens)
+			}
+		}
+	}
+	reg.Collect("gmine_session_breaker_state",
+		"Session circuit breaker position: 0 closed, 1 open (rejecting), 2 half-open (probe admitted).",
+		"gauge", poolLabels, func(emit func(v float64, labelVals ...string)) {
+			eachBreaker(func(name string, state int, _ uint64) { emit(float64(state), name) })
+		})
+	reg.Collect("gmine_session_breaker_opens_total",
+		"Times each session's circuit breaker opened (including failed half-open probes re-opening it).",
+		"counter", poolLabels, func(emit func(v float64, labelVals ...string)) {
+			eachBreaker(func(name string, _ int, opens uint64) { emit(float64(opens), name) })
 		})
 
 	// Hot-tier families only emit rows for sessions with a fragment budget

@@ -92,6 +92,9 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 				route = "unmatched"
 			}
 			total := tr.Finish()
+			if sw.status == statusClientClosedRequest {
+				s.metrics.cancels.Inc()
+			}
 			s.metrics.requests.With(route, strconv.Itoa(sw.status)).Inc()
 			s.metrics.latency.With(route).Observe(total.Seconds())
 			s.metrics.observeTrace(tr)

@@ -33,6 +33,8 @@ import (
 	"net/http"
 	"os"
 	"time"
+
+	"repro/internal/storage"
 )
 
 // Config tunes the server.
@@ -50,6 +52,23 @@ type Config struct {
 	// MaxBatch caps the number of extraction requests one batch call may
 	// carry (default 64).
 	MaxBatch int
+	// MaxInFlight bounds concurrently admitted query requests on the heavy
+	// routes (scene, extract, batch, analysis, labels, tree); requests
+	// beyond it are shed immediately with 503 + Retry-After instead of
+	// queueing without bound. Default 256; negative disables admission
+	// control entirely.
+	MaxInFlight int
+	// BreakerThreshold is how many consecutive permanent paged faults open
+	// a session's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects queries before
+	// admitting a half-open probe (default 2s).
+	BreakerCooldown time.Duration
+	// FaultWrap optionally wraps the backing file of every disk-backed
+	// session opened by this server (the -chaos flag installs a
+	// storage.FaultConfig.Wrap here). Nil = direct file access. Test-only
+	// fault injection; leave nil in production.
+	FaultWrap func(storage.File) storage.File
 	// Logger receives one structured line per request plus server events.
 	// Nil defaults to text on stderr at Warn — quiet by default so embedding
 	// the server (or running it under httptest) doesn't spam per-request
@@ -73,6 +92,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
 	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 256
+	}
 	return c
 }
 
@@ -86,6 +108,9 @@ type Server struct {
 	httpSrv *http.Server
 	log     *slog.Logger
 	metrics *serverMetrics
+	// admission is the query-admission semaphore (nil = unlimited); see
+	// Server.admit in resilience.go.
+	admission chan struct{}
 }
 
 // New returns a server ready to Handle or ListenAndServe.
@@ -96,6 +121,11 @@ func New(cfg Config) *Server {
 		reg:     NewRegistry(),
 		cache:   newResultCache(cfg.CacheEntries),
 		started: time.Now(),
+	}
+	s.reg.brkThreshold = cfg.BreakerThreshold
+	s.reg.brkCooldown = cfg.BreakerCooldown
+	if cfg.MaxInFlight > 0 {
+		s.admission = make(chan struct{}, cfg.MaxInFlight)
 	}
 	s.log = cfg.Logger
 	if s.log == nil {
@@ -121,25 +151,39 @@ func New(cfg Config) *Server {
 // timeout handler — see its comment for why route patterns force that
 // nesting — and wraps the untimed routes individually.
 func (s *Server) Handler() http.Handler {
+	// Heavy query routes sit behind the admission semaphore (load shedding
+	// under overload); liveness (/healthz, /metrics) and cheap listings do
+	// not, so an overloaded or broken server can still be observed.
 	queries := http.NewServeMux()
 	queries.HandleFunc("GET /healthz", s.handleHealthz)
 	queries.HandleFunc("GET /metrics", s.handleMetrics)
 	queries.HandleFunc("GET /sessions", s.handleListSessions)
 	queries.HandleFunc("GET /sessions/{id}", s.handleSessionInfo)
-	queries.HandleFunc("GET /sessions/{id}/tree", s.handleTree)
-	queries.HandleFunc("GET /sessions/{id}/scene", s.handleScene)
-	queries.HandleFunc("POST /sessions/{id}/extract", s.handleExtract)
-	queries.HandleFunc("POST /sessions/{id}/extract/batch", s.handleExtractBatch)
-	queries.HandleFunc("GET /sessions/{id}/analysis", s.handleAnalysis)
-	queries.HandleFunc("GET /sessions/{id}/analysis/graph", s.handleGraphAnalysis)
-	queries.HandleFunc("GET /sessions/{id}/labels", s.handleLabels)
+	queries.Handle("GET /sessions/{id}/tree", s.admit(http.HandlerFunc(s.handleTree)))
+	queries.Handle("GET /sessions/{id}/scene", s.admit(http.HandlerFunc(s.handleScene)))
+	queries.Handle("POST /sessions/{id}/extract", s.admit(http.HandlerFunc(s.handleExtract)))
+	queries.Handle("POST /sessions/{id}/extract/batch", s.admit(http.HandlerFunc(s.handleExtractBatch)))
+	queries.Handle("GET /sessions/{id}/analysis", s.admit(http.HandlerFunc(s.handleAnalysis)))
+	queries.Handle("GET /sessions/{id}/analysis/graph", s.admit(http.HandlerFunc(s.handleGraphAnalysis)))
+	queries.Handle("GET /sessions/{id}/labels", s.admit(http.HandlerFunc(s.handleLabels)))
+	// TimeoutHandler cancels the request context at the deadline (the
+	// engine's cooperative cancellation unwinds the solve) and writes this
+	// body itself; the timeoutRetryWriter outside it injects the
+	// Retry-After header its fixed writer API cannot, so timeout 503s carry
+	// the same backoff contract as shed and breaker 503s.
 	timed := http.TimeoutHandler(s.instrument(queries), s.cfg.RequestTimeout,
-		`{"error":"request timed out"}`)
+		string(marshalJSON(overloadError{
+			Error:             "request timed out",
+			Kind:              "timeout",
+			RetryAfterSeconds: int(timeoutRetryAfter / time.Second),
+		})))
 
 	mux := http.NewServeMux()
 	mux.Handle("POST /sessions", s.instrument(http.HandlerFunc(s.handleCreateSession)))
 	mux.Handle("DELETE /sessions/{id}", s.instrument(http.HandlerFunc(s.handleDeleteSession)))
-	mux.Handle("/", timed)
+	mux.Handle("/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		timed.ServeHTTP(&timeoutRetryWriter{ResponseWriter: w, srv: s}, r)
+	}))
 	return mux
 }
 

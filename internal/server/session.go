@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -32,6 +33,10 @@ type Session struct {
 	createdAt   time.Time
 	buildMillis int64
 
+	// brk is the session's circuit breaker over permanent paged faults
+	// (see guardedRead). Set at reserve time, immutable afterwards.
+	brk *breaker
+
 	// lastPool caches the most recent buffer-pool snapshot so liveness
 	// surfaces (/healthz, /metrics) can report last-known values marked
 	// stale when the session is write-locked, instead of dropping the row.
@@ -51,6 +56,24 @@ func (s *Session) withRead(fn func(eng *core.Engine) error) error {
 		return errSessionGone
 	}
 	return fn(s.eng)
+}
+
+// guardedRead is withRead behind the session's circuit breaker: while the
+// breaker is open (the backing file has produced repeated permanent paged
+// faults) queries fail immediately with a 503-mapped breakerOpenError
+// instead of grinding the pool through another doomed solve. Every query
+// outcome feeds the breaker — a permanent paged fault (core.ErrPagedIO)
+// counts against the store, anything else (success, validation error,
+// cancellation) is evidence it reads fine and closes the breaker again.
+// Engine-touching query handlers use this; liveness probes keep the
+// unguarded paths so an open breaker never blinds /healthz.
+func (s *Session) guardedRead(fn func(eng *core.Engine) error) error {
+	if wait, ok := s.brk.allow(); !ok {
+		return &breakerOpenError{session: s.name, retryAfter: wait}
+	}
+	err := s.withRead(fn)
+	s.brk.record(errors.Is(err, core.ErrPagedIO))
+	return err
 }
 
 // tryRead is withRead without blocking: if the session is write-locked
@@ -160,6 +183,11 @@ type Registry struct {
 	mu       sync.RWMutex
 	sessions map[string]*Session
 	nextGen  uint64
+
+	// Breaker parameters stamped onto every reserved session (zero =
+	// package defaults). Set once before the registry serves traffic.
+	brkThreshold int
+	brkCooldown  time.Duration
 }
 
 // NewRegistry returns an empty registry.
@@ -176,7 +204,10 @@ func (r *Registry) reserve(name string) (*Session, error) {
 		return nil, fmt.Errorf("server: session %q already exists", name)
 	}
 	r.nextGen++
-	s := &Session{name: name, gen: r.nextGen, createdAt: time.Now()}
+	s := &Session{
+		name: name, gen: r.nextGen, createdAt: time.Now(),
+		brk: newBreaker(r.brkThreshold, r.brkCooldown),
+	}
 	s.mu.Lock()
 	r.sessions[name] = s
 	return s, nil

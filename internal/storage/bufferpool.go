@@ -370,6 +370,22 @@ func (bp *BufferPool) Reserved() int {
 	return bp.reserved
 }
 
+// PinnedFrames returns the number of resident frames with a nonzero pin
+// count. A quiescent pool reports 0; the chaos/cancellation tests assert
+// exactly that after every aborted query, since a cancelled sweep that
+// leaks a pin would deadlock eviction forever.
+func (bp *BufferPool) PinnedFrames() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for _, fr := range bp.frames {
+		if fr.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // --- Partitions -----------------------------------------------------------
 
 // Partition is a PagePool view of the pool with its own frame reservation:

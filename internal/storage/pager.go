@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/rand"
 	"os"
 	"sync"
+	"time"
 )
 
 // PageID identifies a page in the file. Page 0 is the superblock.
@@ -41,11 +43,23 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // Pager provides page-granular access to a single file.
 type Pager struct {
 	mu       sync.Mutex
-	f        *os.File
+	f        File
 	pageSize int
 	numPages uint32
 	meta     []byte
 	readOnly bool
+	retry    RetryStats
+}
+
+// RetryStats counts the pager's transient-read recovery work. Retries is
+// the number of re-read attempts made, Healed the reads that succeeded
+// after at least one retry, Failed the reads that exhausted the retry
+// budget (or failed permanently outright) and surfaced an error — the only
+// failures the fault-epoch layer above ever sees.
+type RetryStats struct {
+	Retries uint64
+	Healed  uint64
+	Failed  uint64
 }
 
 // Create creates (truncating) a page file at path. pageSize 0 selects
@@ -61,7 +75,7 @@ func Create(path string, pageSize int) (*Pager, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Pager{f: f, pageSize: pageSize, numPages: 1}
+	p := &Pager{f: osFile{f}, pageSize: pageSize, numPages: 1}
 	if err := p.writeSuper(); err != nil {
 		f.Close()
 		return nil, err
@@ -71,14 +85,30 @@ func Create(path string, pageSize int) (*Pager, error) {
 
 // Open opens an existing page file. If readOnly, writes are rejected.
 func Open(path string, readOnly bool) (*Pager, error) {
-	flag := os.O_RDWR
-	if readOnly {
-		flag = os.O_RDONLY
-	}
-	f, err := os.OpenFile(path, flag, 0)
+	return OpenWrapped(path, readOnly, nil)
+}
+
+// OpenWrapped opens an existing page file with an optional wrapper
+// interposed over its backing File — the seam through which tests and the
+// -chaos serve mode slide a FaultInjector under a live store. A nil wrap
+// is Open. The superblock is read through the wrapper too, but before the
+// retry machinery exists; injectors therefore exempt offset 0.
+func OpenWrapped(path string, readOnly bool, wrap func(File) File) (*Pager, error) {
+	f, err := openOSFile(path, readOnly)
 	if err != nil {
 		return nil, err
 	}
+	if wrap != nil {
+		if wrapped := wrap(f); wrapped != nil {
+			f = wrapped
+		}
+	}
+	return OpenWith(f, readOnly)
+}
+
+// OpenWith opens a page file over an already-open File (taking ownership:
+// the pager closes it). If readOnly, writes are rejected.
+func OpenWith(f File, readOnly bool) (*Pager, error) {
 	hdr := make([]byte, superHeader)
 	if _, err := f.ReadAt(hdr, 0); err != nil {
 		f.Close()
@@ -97,16 +127,16 @@ func Open(path string, readOnly bool) (*Pager, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: corrupt page size %d", pageSize)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	if st.Size()%int64(pageSize) != 0 {
+	if size%int64(pageSize) != 0 {
 		f.Close()
-		return nil, fmt.Errorf("storage: file size %d not a multiple of page size %d", st.Size(), pageSize)
+		return nil, fmt.Errorf("storage: file size %d not a multiple of page size %d", size, pageSize)
 	}
-	p := &Pager{f: f, pageSize: pageSize, numPages: uint32(st.Size() / int64(pageSize)), readOnly: readOnly}
+	p := &Pager{f: f, pageSize: pageSize, numPages: uint32(size / int64(pageSize)), readOnly: readOnly}
 	// Verify the superblock checksum and load the meta blob.
 	page := make([]byte, pageSize)
 	if _, err := f.ReadAt(page, 0); err != nil {
@@ -131,7 +161,7 @@ func verifyCRC(page []byte) error {
 	want := binary.LittleEndian.Uint32(page[n-crcSize:])
 	got := crc32.Checksum(page[:n-crcSize], crcTable)
 	if want != got {
-		return fmt.Errorf("checksum mismatch: stored %08x computed %08x", want, got)
+		return fmt.Errorf("%w: stored %08x computed %08x", errChecksum, want, got)
 	}
 	return nil
 }
@@ -228,8 +258,30 @@ func (p *Pager) WritePage(id PageID, payload []byte) error {
 	return err
 }
 
+// readAttempts bounds the transient-read retry loop: the first read plus
+// up to readAttempts-1 re-reads before a failure is classified permanent.
+const readAttempts = 4
+
+// retryBackoff sleeps before re-read attempt n (1-based): an exponential
+// base doubled per attempt plus up to 100% jitter, so concurrent readers
+// hammering one flaky region desynchronize. The budget is deliberately
+// tiny (≤ ~1ms total) — this covers torn reads and injected chaos, not
+// multi-second device resets.
+func retryBackoff(attempt int) {
+	base := 50 * time.Microsecond << (attempt - 1)
+	time.Sleep(base + time.Duration(rand.Int63n(int64(base))))
+}
+
 // ReadPage reads page id's payload into a fresh slice of PayloadSize bytes,
 // verifying the checksum.
+//
+// Transient failures — errors marked ErrTransient, short reads, and
+// checksum mismatches that heal on re-read (a torn buffer or in-flight
+// bit-flip over an intact disk copy) — are retried with jittered backoff
+// up to readAttempts times before being classified permanent. Callers
+// (the buffer pool, and through it the paged-CSR fault epoch) therefore
+// only ever see post-classification permanent failures; a transient blip
+// never latches a query-visible fault.
 func (p *Pager) ReadPage(id PageID) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -237,13 +289,48 @@ func (p *Pager) ReadPage(id PageID) ([]byte, error) {
 		return nil, fmt.Errorf("storage: read of unallocated page %d (have %d)", id, p.numPages)
 	}
 	page := make([]byte, p.pageSize)
-	if _, err := p.f.ReadAt(page, int64(id)*int64(p.pageSize)); err != nil && err != io.EOF {
-		return nil, err
+	off := int64(id) * int64(p.pageSize)
+	var lastErr error
+	for attempt := 0; attempt < readAttempts; attempt++ {
+		if attempt > 0 {
+			p.retry.Retries++
+			retryBackoff(attempt)
+		}
+		n, err := p.f.ReadAt(page, off)
+		if err != nil && err != io.EOF {
+			if !IsTransientRead(err) {
+				p.retry.Failed++
+				return nil, err
+			}
+			lastErr = fmt.Errorf("storage: page %d: %w", id, err)
+			continue
+		}
+		if n < p.pageSize {
+			// EOF short of a full page: the tail bytes are unspecified, so
+			// zero them before the CRC check rather than trust leftovers
+			// from a previous attempt.
+			for i := n; i < p.pageSize; i++ {
+				page[i] = 0
+			}
+		}
+		if err := verifyCRC(page); err != nil {
+			lastErr = fmt.Errorf("storage: page %d: %w", id, err)
+			continue
+		}
+		if attempt > 0 {
+			p.retry.Healed++
+		}
+		return page[:p.pageSize-crcSize], nil
 	}
-	if err := verifyCRC(page); err != nil {
-		return nil, fmt.Errorf("storage: page %d: %w", id, err)
-	}
-	return page[:p.pageSize-crcSize], nil
+	p.retry.Failed++
+	return nil, lastErr
+}
+
+// RetryStats snapshots the pager's transient-read recovery counters.
+func (p *Pager) RetryStats() RetryStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.retry
 }
 
 // Sync flushes the file to stable storage.
